@@ -1,0 +1,57 @@
+// Ablation: steal chunk size (the tc_create chunk_sz parameter).
+//
+// The chunk controls how many tasks one steal transfers. Too small and
+// thieves pay the ~29 us one-sided steal cost for a sliver of work; too
+// large and a steal strips the victim. The paper fixes chunk = 10 for its
+// microbenchmarks; this sweep shows where that sits on the UTS workload.
+#include <cstdio>
+
+#include "apps/uts/uts_drivers.hpp"
+#include "base/options.hpp"
+#include "base/table.hpp"
+
+using namespace scioto;
+using namespace scioto::apps;
+
+int main(int argc, char** argv) {
+  Options opts("bench_ablation_chunk", "steal chunk-size sweep on UTS");
+  opts.add_int("procs", 32, "process count");
+  opts.add_int("scale", 11, "geometric tree depth");
+  if (!opts.parse(argc, argv)) return 0;
+  const int procs = static_cast<int>(opts.get_int("procs"));
+
+  UtsParams tree = uts_bench();
+  tree.gen_mx = static_cast<int>(opts.get_int("scale"));
+  UtsCounts expected = uts_sequential(tree);
+  std::printf("workload: %s, %llu nodes on %d procs (heterogeneous "
+              "cluster)\n",
+              uts_describe(tree).c_str(),
+              static_cast<unsigned long long>(expected.nodes), procs);
+
+  Table t({"Chunk", "Throughput(Mn/s)", "Steals", "Tasks-Stolen",
+           "Tasks/Steal"});
+  for (int chunk : {1, 2, 5, 10, 20, 50}) {
+    pgas::Config cfg;
+    cfg.nranks = procs;
+    cfg.backend = pgas::BackendKind::Sim;
+    cfg.machine = sim::cluster2008();
+    UtsRunConfig rc;
+    rc.chunk = chunk;
+    UtsResult res;
+    pgas::run_spmd(cfg, [&](pgas::Runtime& rt) {
+      res = uts_run_scioto(rt, tree, rc);
+    });
+    SCIOTO_CHECK_MSG(res.counts == expected, "traversal mismatch");
+    t.add_row({Table::fmt(std::int64_t{chunk}),
+               Table::fmt(res.mnodes_per_sec, 2),
+               Table::fmt(static_cast<std::int64_t>(res.steals)),
+               Table::fmt(static_cast<std::int64_t>(res.tasks_stolen)),
+               Table::fmt(res.steals
+                              ? static_cast<double>(res.tasks_stolen) /
+                                    static_cast<double>(res.steals)
+                              : 0.0,
+                          2)});
+  }
+  t.print("Ablation: steal chunk size (UTS, Scioto split queues)");
+  return 0;
+}

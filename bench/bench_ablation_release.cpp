@@ -1,0 +1,95 @@
+// Ablation: the release threshold (how eagerly the owner moves private
+// tasks into the shared, stealable portion of its split queue).
+//
+// Releasing too eagerly makes the owner pay the locked reacquire path when
+// it wants its own work back; hoarding starves thieves. This is the knob
+// DESIGN.md calls out alongside the split-vs-no-split headline ablation.
+#include <cstdio>
+
+#include "apps/uts/uts_drivers.hpp"
+#include "base/options.hpp"
+#include "base/table.hpp"
+#include "scioto/task_collection.hpp"
+
+using namespace scioto;
+using namespace scioto::apps;
+
+int main(int argc, char** argv) {
+  Options opts("bench_ablation_release", "release-threshold sweep on UTS");
+  opts.add_int("procs", 32, "process count");
+  opts.add_int("scale", 11, "geometric tree depth");
+  if (!opts.parse(argc, argv)) return 0;
+  const int procs = static_cast<int>(opts.get_int("procs"));
+
+  UtsParams tree = uts_bench();
+  tree.gen_mx = static_cast<int>(opts.get_int("scale"));
+  UtsCounts expected = uts_sequential(tree);
+  std::printf("workload: %s, %llu nodes on %d procs\n",
+              uts_describe(tree).c_str(),
+              static_cast<unsigned long long>(expected.nodes), procs);
+
+  Table t({"ReleaseThreshold", "Mnodes/s", "Releases", "Reacquires",
+           "Steals"});
+  for (std::uint64_t threshold : {1u, 4u, 10u, 20u, 40u, 80u}) {
+    pgas::Config cfg;
+    cfg.nranks = procs;
+    cfg.backend = pgas::BackendKind::Sim;
+    cfg.machine = sim::cluster2008();
+    TcStats stats{};
+    UtsResult res;
+    pgas::run_spmd(cfg, [&](pgas::Runtime& rt) {
+      TcConfig tcc;
+      tcc.max_task_body = sizeof(UtsNode);
+      tcc.release_threshold = threshold;
+      // Reuse the standard driver path by configuring through TcConfig:
+      // replicate uts_run_scioto with a custom threshold.
+      TaskCollection tc(rt, tcc);
+      UtsCounts local;
+      CloHandle clo = tc.register_clo(&local);
+      TaskHandle h = tc.register_callback([&, clo](TaskContext& ctx) {
+        UtsCounts& counts = ctx.tc.clo<UtsCounts>(clo);
+        UtsNode node = ctx.body_as<UtsNode>();
+        for (;;) {
+          ctx.tc.runtime().charge(ns(316));
+          ++counts.nodes;
+          int nc = uts_num_children(node, tree);
+          if (nc == 0) break;
+          for (int i = 1; i < nc; ++i) {
+            Task child =
+                ctx.tc.task_create(sizeof(UtsNode), ctx.header.callback);
+            child.body_as<UtsNode>() = uts_child(node, i);
+            ctx.tc.add_local(child);
+          }
+          node = uts_child(node, 0);
+        }
+      });
+      if (rt.me() == 0) {
+        Task t = tc.task_create(sizeof(UtsNode), h);
+        t.body_as<UtsNode>() = uts_root(tree);
+        tc.add_local(t);
+      }
+      rt.barrier();
+      TimeNs t0 = rt.now();
+      tc.process();
+      TimeNs elapsed = rt.allreduce_max(rt.now() - t0);
+      std::uint64_t nodes = rt.allreduce_sum(local.nodes);
+      TcStats g = tc.stats_global();
+      if (rt.me() == 0) {
+        res.mnodes_per_sec =
+            static_cast<double>(nodes) / (to_sec(elapsed) * 1e6);
+        res.counts.nodes = nodes;
+        stats = g;
+      }
+      tc.destroy();
+    });
+    SCIOTO_CHECK_MSG(res.counts.nodes == expected.nodes,
+                     "traversal mismatch");
+    t.add_row({Table::fmt(static_cast<std::int64_t>(threshold)),
+               Table::fmt(res.mnodes_per_sec, 2),
+               Table::fmt(static_cast<std::int64_t>(stats.releases)),
+               Table::fmt(static_cast<std::int64_t>(stats.reacquires)),
+               Table::fmt(static_cast<std::int64_t>(stats.steals))});
+  }
+  t.print("Ablation: split-queue release threshold (UTS, Scioto)");
+  return 0;
+}

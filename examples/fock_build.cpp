@@ -1,0 +1,59 @@
+// SCF demo: iterate the synthetic closed-shell Fock build to
+// self-consistency under either load-balancing scheme and report the
+// per-iteration energies plus parallel Fock-build time.
+//
+//   ./fock_build --ranks 16 --shells 24 --iters 4 --scheduler scioto
+#include <cstdio>
+
+#include "apps/scf/scf_drivers.hpp"
+#include "base/options.hpp"
+
+using namespace scioto;
+using namespace scioto::apps;
+
+int main(int argc, char** argv) {
+  Options opts("fock_build", "closed-shell SCF with Scioto task management");
+  opts.add_int("ranks", 16, "number of SPMD ranks");
+  opts.add_string("machine", "cluster-uniform",
+                  "machine model: cluster | cluster-uniform | xt4 | test");
+  opts.add_int("shells", 24, "number of shells");
+  opts.add_int("iters", 4, "SCF iterations");
+  opts.add_int("seed", 1234, "molecule seed");
+  opts.add_string("scheduler", "scioto", "scioto | counter");
+  if (!opts.parse(argc, argv)) return 0;
+
+  ScfConfig scfg;
+  scfg.nshells = static_cast<int>(opts.get_int("shells"));
+  scfg.iterations = static_cast<int>(opts.get_int("iters"));
+  scfg.seed = static_cast<std::uint64_t>(opts.get_int("seed"));
+  ScfSystem sys = ScfSystem::build(scfg);
+  std::printf("synthetic molecule: %d shells, %lld basis functions, "
+              "%lld occupied orbitals\n",
+              sys.nsh, static_cast<long long>(sys.nbf),
+              static_cast<long long>(sys.nocc));
+
+  pgas::Config cfg;
+  cfg.nranks = static_cast<int>(opts.get_int("ranks"));
+  cfg.machine = sim::machine_by_name(opts.get_string("machine"));
+  LbScheme lb = opts.get_string("scheduler") == "counter"
+                    ? LbScheme::GlobalCounter
+                    : LbScheme::Scioto;
+
+  ScfRunResult res;
+  pgas::run_spmd(cfg, [&](pgas::Runtime& rt) { res = scf_run(rt, sys, lb); });
+
+  std::vector<double> expected = scf_reference(sys);
+  bool ok = true;
+  for (std::size_t i = 0; i < res.energies.size(); ++i) {
+    bool match = res.energies[i] == expected[i];
+    ok = ok && match;
+    std::printf("iter %zu: E = %+.10f  %s\n", i, res.energies[i],
+                match ? "(matches sequential reference)" : "(MISMATCH)");
+  }
+  std::printf("%s on %d ranks: Fock build %.3f ms total, %llu tasks, "
+              "%llu steals\n",
+              lb_name(lb), cfg.nranks, to_ms(res.fock_elapsed),
+              static_cast<unsigned long long>(res.tasks),
+              static_cast<unsigned long long>(res.steals));
+  return ok ? 0 : 1;
+}

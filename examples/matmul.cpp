@@ -1,0 +1,133 @@
+// Task-parallel blocked matrix-matrix multiplication over Global Arrays --
+// the paper's running example (§4, Figure 3), in the C++ API.
+//
+// C += A * B on NUM_BLOCKS^2 output blocks: each task multiplies one
+// (i, j, k) block triple and accumulates into C. Tasks are seeded at the
+// owner of their C block (the paper's get_owner idiom) with high affinity,
+// then verified against a local dense reference.
+//
+//   ./matmul --ranks 4 --blocks 6 --block-size 16
+#include <cstdio>
+#include <vector>
+
+#include "base/linalg.hpp"
+#include "base/options.hpp"
+#include "ga/global_array.hpp"
+#include "scioto/task_collection.hpp"
+
+using namespace scioto;
+
+namespace {
+
+struct MmTask {
+  // Portable references to the global arrays (integers under GA) plus the
+  // block triple to multiply -- exactly the paper's Figure 1 descriptor.
+  std::int32_t block[3];
+};
+
+double a_val(std::int64_t i, std::int64_t j) {
+  return 0.01 * static_cast<double>(i) + 0.02 * static_cast<double>(j);
+}
+double b_val(std::int64_t i, std::int64_t j) {
+  return (i == j ? 1.0 : 0.0) + 0.001 * static_cast<double>(i + j);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts("matmul", "blocked matrix multiply over Global Arrays");
+  opts.add_int("ranks", 4, "number of SPMD ranks");
+  opts.add_string("backend", "sim", "execution backend: sim | threads");
+  opts.add_int("blocks", 6, "blocks per matrix dimension");
+  opts.add_int("block-size", 16, "rows/cols per block");
+  if (!opts.parse(argc, argv)) return 0;
+
+  pgas::Config cfg;
+  cfg.nranks = static_cast<int>(opts.get_int("ranks"));
+  cfg.backend = opts.get_string("backend") == "threads"
+                    ? pgas::BackendKind::Threads
+                    : pgas::BackendKind::Sim;
+  cfg.machine = sim::cluster2008_uniform();
+  const std::int64_t nb = opts.get_int("blocks");
+  const std::int64_t bs = opts.get_int("block-size");
+  const std::int64_t n = nb * bs;
+
+  pgas::run_spmd(cfg, [&](pgas::Runtime& rt) {
+    ga::GlobalArray a(rt, n, n, "A"), b(rt, n, n, "B"), c(rt, n, n, "C");
+    // Fill local panels.
+    for (std::int64_t i = a.row_lo(rt.me()); i < a.row_hi(rt.me()); ++i) {
+      for (std::int64_t j = 0; j < n; ++j) {
+        a.local_panel()[(i - a.row_lo(rt.me())) * n + j] = a_val(i, j);
+        b.local_panel()[(i - b.row_lo(rt.me())) * n + j] = b_val(i, j);
+      }
+    }
+    rt.barrier();
+
+    TcConfig tcc;
+    tcc.max_task_body = sizeof(MmTask);
+    tcc.chunk_size = 4;
+    TaskCollection tc(rt, tcc);
+
+    std::vector<double> abuf(bs * bs), bbuf(bs * bs), cbuf(bs * bs);
+    TaskHandle mm = tc.register_callback([&](TaskContext& ctx) {
+      const auto& t = ctx.body_as<MmTask>();
+      std::int64_t i0 = t.block[0] * bs, j0 = t.block[1] * bs,
+                   k0 = t.block[2] * bs;
+      a.get(i0, i0 + bs, k0, k0 + bs, abuf.data(), bs);
+      b.get(k0, k0 + bs, j0, j0 + bs, bbuf.data(), bs);
+      matmul(abuf.data(), bbuf.data(), cbuf.data(), bs, bs, bs);
+      ctx.tc.runtime().charge(2 * bs * bs * bs);  // ~0.5 flop/ns
+      c.acc(i0, i0 + bs, j0, j0 + bs, cbuf.data(), bs, 1.0);
+    });
+
+    // Seed each (i,j,k) task at the rank owning C block row i.
+    Task task = tc.task_create(sizeof(MmTask), mm);
+    for (std::int32_t i = 0; i < nb; ++i) {
+      for (std::int32_t j = 0; j < nb; ++j) {
+        for (std::int32_t k = 0; k < nb; ++k) {
+          if (c.owner_of_patch(i * bs, j * bs) != rt.me()) continue;
+          task.body_as<MmTask>() = {{i, j, k}};
+          tc.add_local(task, kAffinityHigh);
+          task.reuse();
+        }
+      }
+    }
+    tc.process();
+
+    // Verify this rank's C panel against a dense reference.
+    std::vector<double> aref(static_cast<std::size_t>(n) * n),
+        bref(aref.size()), cref(aref.size());
+    for (std::int64_t i = 0; i < n; ++i) {
+      for (std::int64_t j = 0; j < n; ++j) {
+        aref[static_cast<std::size_t>(i * n + j)] = a_val(i, j);
+        bref[static_cast<std::size_t>(i * n + j)] = b_val(i, j);
+      }
+    }
+    matmul(aref.data(), bref.data(), cref.data(), n, n, n);
+    double max_err = 0;
+    for (std::int64_t i = c.row_lo(rt.me()); i < c.row_hi(rt.me()); ++i) {
+      for (std::int64_t j = 0; j < n; ++j) {
+        double got = c.local_panel()[(i - c.row_lo(rt.me())) * n + j];
+        max_err = std::max(max_err,
+                           std::abs(got - cref[static_cast<std::size_t>(
+                                              i * n + j)]));
+      }
+    }
+    double global_err = rt.allreduce_max(max_err);
+    TcStats stats = tc.stats_global();
+    if (rt.me() == 0) {
+      std::printf("matmul %lldx%lld (%lld blocks): tasks=%llu steals=%llu "
+                  "max_err=%.2e -> %s\n",
+                  static_cast<long long>(n), static_cast<long long>(n),
+                  static_cast<long long>(nb * nb * nb),
+                  static_cast<unsigned long long>(stats.tasks_executed),
+                  static_cast<unsigned long long>(stats.steals), global_err,
+                  global_err < 1e-9 ? "OK" : "FAILED");
+    }
+    tc.destroy();
+    c.destroy();
+    b.destroy();
+    a.destroy();
+  });
+  return 0;
+}

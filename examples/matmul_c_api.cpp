@@ -1,0 +1,130 @@
+// The paper's Figure 3 listing, nearly verbatim: task-parallel blocked
+// matrix-matrix multiplication through the C-style tc_* API.
+//
+// Matrices live in Global Arrays; the task body carries portable integer
+// references and block indices (Figure 1's descriptor). Each process
+// creates only the tasks whose output block it owns (get_owner), then all
+// processes collectively tc_process() the collection.
+//
+//   ./matmul_c_api --ranks 4 --blocks 4 --block-size 8
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "base/linalg.hpp"
+#include "base/options.hpp"
+#include "ga/global_array.hpp"
+#include "pgas/runtime.hpp"
+#include "scioto/scioto_c.h"
+
+namespace {
+
+// Global-array registry standing in for GA's integer handles: the paper's
+// task bodies reference arrays by int.
+scioto::ga::GlobalArray* g_arrays[3];
+std::int64_t g_bs = 8;
+
+struct mm_task {
+  int A, B, C;       // portable global-array handles
+  int block[3];      // i, j, k block indices
+};
+
+void mm_task_fcn(tc_t /*tc*/, task_t* task) {
+  mm_task* mm = static_cast<mm_task*>(tc_task_body(task));
+  auto& A = *g_arrays[mm->A];
+  auto& B = *g_arrays[mm->B];
+  auto& C = *g_arrays[mm->C];
+  const std::int64_t bs = g_bs;
+  std::int64_t i0 = mm->block[0] * bs, j0 = mm->block[1] * bs,
+               k0 = mm->block[2] * bs;
+  std::vector<double> a(bs * bs), b(bs * bs), c(bs * bs);
+  A.get(i0, i0 + bs, k0, k0 + bs, a.data(), bs);
+  B.get(k0, k0 + bs, j0, j0 + bs, b.data(), bs);
+  scioto::matmul(a.data(), b.data(), c.data(), bs, bs, bs);
+  C.acc(i0, i0 + bs, j0, j0 + bs, c.data(), bs, 1.0);
+}
+
+int get_owner(scioto::ga::GlobalArray& c, int i, int /*j*/, int /*k*/) {
+  return c.owner_of_patch(i * g_bs, 0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  scioto::Options opts("matmul_c_api", "paper Figure 3 via the C API");
+  opts.add_int("ranks", 4, "number of SPMD ranks");
+  opts.add_int("blocks", 4, "blocks per dimension");
+  opts.add_int("block-size", 8, "rows/cols per block");
+  if (!opts.parse(argc, argv)) return 0;
+
+  scioto::pgas::Config cfg;
+  cfg.nranks = static_cast<int>(opts.get_int("ranks"));
+  cfg.machine = scioto::sim::cluster2008_uniform();
+  const int NUM_BLOCKS = static_cast<int>(opts.get_int("blocks"));
+  g_bs = opts.get_int("block-size");
+  const std::int64_t n = NUM_BLOCKS * g_bs;
+
+  scioto::pgas::run_spmd(cfg, [&](scioto::pgas::Runtime& rt) {
+    scioto::capi::RuntimeBinding bind(rt);  // tc_init analog
+
+    // Initialize Global Arrays: A, B, and C.
+    scioto::ga::GlobalArray A(rt, n, n, "A"), B(rt, n, n, "B"),
+        C(rt, n, n, "C");
+    g_arrays[0] = &A;
+    g_arrays[1] = &B;
+    g_arrays[2] = &C;
+    for (std::int64_t i = A.row_lo(rt.me()); i < A.row_hi(rt.me()); ++i) {
+      for (std::int64_t j = 0; j < n; ++j) {
+        A.local_panel()[(i - A.row_lo(rt.me())) * n + j] =
+            std::sin(0.01 * static_cast<double>(i * n + j));
+        B.local_panel()[(i - B.row_lo(rt.me())) * n + j] = (i == j) ? 2.0 : 0.0;
+      }
+    }
+    rt.barrier();
+
+    // --- The paper's main(), Figure 3 ---
+    tc_t tc = tc_create(sizeof(mm_task), /*chunk=*/4, /*max=*/65536);
+    task_handle_t hdl = tc_register_callback(tc, mm_task_fcn);
+    task_t* task = tc_task_create(sizeof(mm_task), hdl);
+    mm_task* mm = static_cast<mm_task*>(tc_task_body(task));
+    mm->A = 0;
+    mm->B = 1;
+    mm->C = 2;
+    int me = tc_mype();
+    for (int i = 0; i < NUM_BLOCKS; i++)
+      for (int j = 0; j < NUM_BLOCKS; j++)
+        for (int k = 0; k < NUM_BLOCKS; k++)
+          if (get_owner(C, i, j, k) == me) {
+            mm->block[0] = i;
+            mm->block[1] = j;
+            mm->block[2] = k;
+            tc_add(tc, me, TC_AFFINITY_HIGH, task);
+            tc_task_reuse(task);
+          }
+    tc_process(tc);
+    tc_task_destroy(task);
+    tc_destroy(tc);
+    // --- end of Figure 3 ---
+
+    // B is 2*I, so C must equal 2*A; check this rank's panel.
+    double err = 0;
+    for (std::int64_t i = C.row_lo(rt.me()); i < C.row_hi(rt.me()); ++i) {
+      for (std::int64_t j = 0; j < n; ++j) {
+        double got = C.local_panel()[(i - C.row_lo(rt.me())) * n + j];
+        double want =
+            2.0 * std::sin(0.01 * static_cast<double>(i * n + j));
+        err = std::max(err, std::abs(got - want));
+      }
+    }
+    err = rt.allreduce_max(err);
+    if (rt.me() == 0) {
+      std::printf("C API matmul %lldx%lld: max_err=%.2e -> %s\n",
+                  static_cast<long long>(n), static_cast<long long>(n), err,
+                  err < 1e-12 ? "OK" : "FAILED");
+    }
+    C.destroy();
+    B.destroy();
+    A.destroy();
+  });
+  return 0;
+}

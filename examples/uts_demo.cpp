@@ -1,0 +1,77 @@
+// UTS demo: traverse an unbalanced tree under Scioto, the no-split queue
+// variant, or the MPI-style work-stealing baseline, and report throughput
+// plus load-balancing statistics.
+//
+//   ./uts_demo --ranks 16 --tree geo --scale 10 --scheduler scioto
+//   ./uts_demo --scheduler mpi-ws --machine xt4
+#include <cstdio>
+
+#include "apps/uts/uts_drivers.hpp"
+#include "base/options.hpp"
+
+using namespace scioto;
+using namespace scioto::apps;
+
+int main(int argc, char** argv) {
+  Options opts("uts_demo", "Unbalanced Tree Search demo");
+  opts.add_int("ranks", 16, "number of SPMD ranks");
+  opts.add_string("machine", "cluster",
+                  "machine model: cluster | cluster-uniform | xt4 | test");
+  opts.add_string("tree", "geo", "tree family: geo | bin");
+  opts.add_int("scale", 10, "geometric depth (gen_mx) / binomial root size");
+  opts.add_int("seed", 19, "tree seed");
+  opts.add_string("scheduler", "scioto",
+                  "scioto | no-split | wait-free | mpi-ws");
+  opts.add_int("chunk", 10, "steal chunk size");
+  if (!opts.parse(argc, argv)) return 0;
+
+  UtsParams tree;
+  if (opts.get_string("tree") == "bin") {
+    tree = uts_binomial_small();
+    tree.b0 = static_cast<double>(opts.get_int("scale")) * 16;
+  } else {
+    tree = uts_bench();
+    tree.gen_mx = static_cast<int>(opts.get_int("scale"));
+  }
+  tree.seed = static_cast<int>(opts.get_int("seed"));
+
+  pgas::Config cfg;
+  cfg.nranks = static_cast<int>(opts.get_int("ranks"));
+  cfg.machine = sim::machine_by_name(opts.get_string("machine"));
+
+  UtsCounts expected = uts_sequential(tree);
+  std::printf("tree %s: %llu nodes, %llu leaves, depth %lld\n",
+              uts_describe(tree).c_str(),
+              static_cast<unsigned long long>(expected.nodes),
+              static_cast<unsigned long long>(expected.leaves),
+              static_cast<long long>(expected.max_depth));
+
+  const std::string sched = opts.get_string("scheduler");
+  UtsResult res;
+  pgas::run_spmd(cfg, [&](pgas::Runtime& rt) {
+    UtsRunConfig rc;
+    rc.chunk = static_cast<int>(opts.get_int("chunk"));
+    rc.queue_mode = sched == "no-split"    ? QueueMode::NoSplit
+                    : sched == "wait-free" ? QueueMode::WaitFreeSteal
+                                           : QueueMode::Split;
+    if (sched == "mpi-ws") {
+      res = uts_run_mpi_ws(rt, tree, rc);
+    } else {
+      res = uts_run_scioto(rt, tree, rc);
+    }
+  });
+
+  std::printf("%s on %d ranks (%s): %.2f Mnodes/s, elapsed %.3f ms\n",
+              sched.c_str(), cfg.nranks, cfg.machine.name.c_str(),
+              res.mnodes_per_sec, to_ms(res.elapsed));
+  std::string polls =
+      res.polls ? " polls=" + std::to_string(res.polls) : std::string{};
+  std::printf("steals=%llu tasks_stolen=%llu%s\n",
+              static_cast<unsigned long long>(res.steals),
+              static_cast<unsigned long long>(res.tasks_stolen),
+              polls.c_str());
+  bool ok = res.counts == expected;
+  std::printf("traversal %s: counted %llu nodes\n", ok ? "OK" : "MISMATCH",
+              static_cast<unsigned long long>(res.counts.nodes));
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,16 @@
+// Load-balancing scheme selector shared by the SCF and TCE drivers:
+// Scioto task collections vs. the original replicated-list global counter.
+#pragma once
+
+namespace scioto::apps {
+
+enum class LbScheme {
+  Scioto,         // locality-aware task collection (this paper)
+  GlobalCounter,  // replicated list + shared counter ("Original" in §6)
+};
+
+inline const char* lb_name(LbScheme s) {
+  return s == LbScheme::Scioto ? "Scioto" : "Original";
+}
+
+}  // namespace scioto::apps

@@ -1,0 +1,219 @@
+#include "apps/scf/scf.hpp"
+
+#include <cmath>
+
+#include "base/error.hpp"
+#include "base/linalg.hpp"
+#include "base/rng.hpp"
+
+namespace scioto::apps {
+
+ScfSystem ScfSystem::build(const ScfConfig& cfg) {
+  SCIOTO_REQUIRE(cfg.nshells >= 1 && cfg.min_shell >= 1 &&
+                     cfg.max_shell >= cfg.min_shell,
+                 "invalid SCF shell configuration");
+  ScfSystem sys;
+  sys.cfg = cfg;
+  sys.nsh = cfg.nshells;
+  Xoshiro256 rng(derive_seed(cfg.seed, 0, /*stream=*/0x5CF));
+
+  sys.shell_size.resize(static_cast<std::size_t>(sys.nsh));
+  sys.shell_off.resize(static_cast<std::size_t>(sys.nsh) + 1);
+  sys.centers.resize(static_cast<std::size_t>(sys.nsh));
+  std::int64_t off = 0;
+  for (int s = 0; s < sys.nsh; ++s) {
+    sys.shell_off[static_cast<std::size_t>(s)] = off;
+    sys.shell_size[static_cast<std::size_t>(s)] =
+        rng.uniform_int(cfg.min_shell, cfg.max_shell);
+    off += sys.shell_size[static_cast<std::size_t>(s)];
+    for (auto& c : sys.centers[static_cast<std::size_t>(s)]) {
+      c = rng.uniform(0.0, cfg.box);
+    }
+  }
+  sys.shell_off[static_cast<std::size_t>(sys.nsh)] = off;
+  sys.nbf = off;
+  sys.nocc = std::max<std::int64_t>(1, sys.nbf / 4);
+
+  // Shell-pair magnitudes (the synthetic Schwarz factors).
+  sys.schwarz.resize(static_cast<std::size_t>(sys.nsh) *
+                     static_cast<std::size_t>(sys.nsh));
+  for (int i = 0; i < sys.nsh; ++i) {
+    for (int j = 0; j < sys.nsh; ++j) {
+      const auto& ri = sys.centers[static_cast<std::size_t>(i)];
+      const auto& rj = sys.centers[static_cast<std::size_t>(j)];
+      double d2 = 0;
+      for (int x = 0; x < 3; ++x) {
+        d2 += (ri[x] - rj[x]) * (ri[x] - rj[x]);
+      }
+      sys.schwarz[static_cast<std::size_t>(i) *
+                      static_cast<std::size_t>(sys.nsh) +
+                  static_cast<std::size_t>(j)] = std::exp(-cfg.alpha * d2);
+    }
+  }
+
+  // Replicated synthetic core Hamiltonian: diagonal dominance plus decaying
+  // off-diagonal couplings scaled by the pair magnitudes.
+  sys.hcore.assign(static_cast<std::size_t>(sys.nbf) *
+                       static_cast<std::size_t>(sys.nbf),
+                   0.0);
+  for (int si = 0; si < sys.nsh; ++si) {
+    for (int sj = 0; sj < sys.nsh; ++sj) {
+      double k = sys.k_pair(si, sj);
+      for (std::int64_t a = sys.shell_off[static_cast<std::size_t>(si)];
+           a < sys.shell_off[static_cast<std::size_t>(si) + 1]; ++a) {
+        for (std::int64_t b = sys.shell_off[static_cast<std::size_t>(sj)];
+             b < sys.shell_off[static_cast<std::size_t>(sj) + 1]; ++b) {
+          double v = -k / (1.0 + 0.3 * std::abs(static_cast<double>(a - b)));
+          if (a == b) {
+            v -= 2.0 + 0.01 * static_cast<double>(a);
+          }
+          sys.hcore[static_cast<std::size_t>(a * sys.nbf + b)] = v;
+        }
+      }
+    }
+  }
+  sys.e_nuc = 0.5 * static_cast<double>(sys.nsh) * cfg.box;
+  return sys;
+}
+
+std::int64_t ScfSystem::fock_block(
+    int i, int j, const std::function<void(int, double*)>& get_d_rows,
+    double* f_block) const {
+  const std::int64_t ni = shell_size[static_cast<std::size_t>(i)];
+  const std::int64_t nj = shell_size[static_cast<std::size_t>(j)];
+  const std::int64_t oi = shell_off[static_cast<std::size_t>(i)];
+  const std::int64_t oj = shell_off[static_cast<std::size_t>(j)];
+  std::fill(f_block, f_block + ni * nj, 0.0);
+
+  std::vector<double> drows;  // D(k-block, 0..nbf), fetched once per k
+  std::int64_t quartets = 0;
+  const double k_ij = k_pair(i, j);
+  for (int k = 0; k < nsh; ++k) {
+    const std::int64_t nk = shell_size[static_cast<std::size_t>(k)];
+    const std::int64_t ok = shell_off[static_cast<std::size_t>(k)];
+    bool have_rows = false;
+    for (int l = 0; l < nsh; ++l) {
+      // Screen on both the Coulomb (ij|kl) and exchange (ik|jl) factors.
+      const double k_kl = k_pair(k, l);
+      const double coul = k_ij * k_kl;
+      const double exch = k_pair(i, k) * k_pair(j, l);
+      if (coul < cfg.screen_tol && exch < cfg.screen_tol) {
+        continue;
+      }
+      ++quartets;
+      if (!have_rows) {
+        drows.resize(static_cast<std::size_t>(nk * nbf));
+        get_d_rows(k, drows.data());
+        have_rows = true;
+      }
+      const std::int64_t nl = shell_size[static_cast<std::size_t>(l)];
+      const std::int64_t ol = shell_off[static_cast<std::size_t>(l)];
+
+      const double k_ik = k_pair(i, k);
+      const double k_jl = k_pair(j, l);
+      for (std::int64_t a = 0; a < ni; ++a) {
+        for (std::int64_t b = 0; b < nj; ++b) {
+          double acc = 0;
+          for (std::int64_t c = 0; c < nk; ++c) {
+            for (std::int64_t d = 0; d < nl; ++d) {
+              double dv = drows[static_cast<std::size_t>(c * nbf + ol + d)];
+              if (dv == 0.0) continue;
+              double coulomb =
+                  eri_elem(k_ij, k_kl, oi + a, oj + b, ok + c, ol + d);
+              double exchange =
+                  eri_elem(k_ik, k_jl, oi + a, ok + c, oj + b, ol + d);
+              acc += dv * (2.0 * coulomb - exchange);
+            }
+          }
+          f_block[a * nj + b] += acc;
+        }
+      }
+    }
+  }
+  return quartets;
+}
+
+double ScfSystem::energy(const std::vector<double>& f,
+                         const std::vector<double>& d) const {
+  double e = 0;
+  const std::size_t n2 = static_cast<std::size_t>(nbf) *
+                         static_cast<std::size_t>(nbf);
+  for (std::size_t idx = 0; idx < n2; ++idx) {
+    e += d[idx] * (hcore[idx] + f[idx]);
+  }
+  return e_nuc + 0.5 * e;
+}
+
+void ScfSystem::update_density(const std::vector<double>& f,
+                               std::vector<double>& d) const {
+  std::vector<double> evals, evecs;
+  jacobi_eigensymm(f, nbf, evals, evecs);
+  // Aufbau: doubly occupy the nocc lowest orbitals, then damp.
+  const double mix = cfg.mixing;
+  for (std::int64_t i = 0; i < nbf; ++i) {
+    for (std::int64_t j = 0; j < nbf; ++j) {
+      double acc = 0;
+      for (std::int64_t m = 0; m < nocc; ++m) {
+        acc += evecs[static_cast<std::size_t>(i * nbf + m)] *
+               evecs[static_cast<std::size_t>(j * nbf + m)];
+      }
+      double& dv = d[static_cast<std::size_t>(i * nbf + j)];
+      dv = (1.0 - mix) * dv + mix * 2.0 * acc;
+    }
+  }
+}
+
+std::vector<double> ScfSystem::initial_density() const {
+  std::vector<double> d(static_cast<std::size_t>(nbf) *
+                            static_cast<std::size_t>(nbf),
+                        0.0);
+  double fill = 2.0 * static_cast<double>(nocc) / static_cast<double>(nbf);
+  for (std::int64_t i = 0; i < nbf; ++i) {
+    d[static_cast<std::size_t>(i * nbf + i)] = fill;
+  }
+  return d;
+}
+
+std::vector<double> scf_reference(const ScfSystem& sys) {
+  std::vector<double> d = sys.initial_density();
+  std::vector<double> f(static_cast<std::size_t>(sys.nbf) *
+                        static_cast<std::size_t>(sys.nbf));
+  std::vector<double> energies;
+  std::vector<double> fblk;
+  for (int iter = 0; iter < sys.cfg.iterations; ++iter) {
+    std::copy(sys.hcore.begin(), sys.hcore.end(), f.begin());
+    for (int i = 0; i < sys.nsh; ++i) {
+      for (int j = 0; j < sys.nsh; ++j) {
+        const std::int64_t ni = sys.shell_size[static_cast<std::size_t>(i)];
+        const std::int64_t nj = sys.shell_size[static_cast<std::size_t>(j)];
+        fblk.resize(static_cast<std::size_t>(ni * nj));
+        sys.fock_block(
+            i, j,
+            [&](int k, double* buf) {
+              const std::int64_t nk =
+                  sys.shell_size[static_cast<std::size_t>(k)];
+              const std::int64_t ok =
+                  sys.shell_off[static_cast<std::size_t>(k)];
+              std::copy(d.begin() + static_cast<std::ptrdiff_t>(ok * sys.nbf),
+                        d.begin() + static_cast<std::ptrdiff_t>(
+                                        (ok + nk) * sys.nbf),
+                        buf);
+            },
+            fblk.data());
+        const std::int64_t oi = sys.shell_off[static_cast<std::size_t>(i)];
+        const std::int64_t oj = sys.shell_off[static_cast<std::size_t>(j)];
+        for (std::int64_t a = 0; a < ni; ++a) {
+          for (std::int64_t b = 0; b < nj; ++b) {
+            f[static_cast<std::size_t>((oi + a) * sys.nbf + oj + b)] +=
+                fblk[static_cast<std::size_t>(a * nj + b)];
+          }
+        }
+      }
+    }
+    energies.push_back(sys.energy(f, d));
+    sys.update_density(f, d);
+  }
+  return energies;
+}
+
+}  // namespace scioto::apps

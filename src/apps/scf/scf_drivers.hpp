@@ -1,0 +1,28 @@
+// Parallel SCF drivers: the Fock build runs either under a Scioto task
+// collection (tasks seeded at the owner of their Fock block, high
+// affinity) or under the original replicated-list + global-counter scheme.
+// Everything else (density update, energy) is replicated and identical, so
+// per-iteration energies must match the sequential reference bit-for-bit.
+#pragma once
+
+#include "apps/lb_scheme.hpp"
+#include "apps/scf/scf.hpp"
+#include "pgas/runtime.hpp"
+
+namespace scioto::apps {
+
+struct ScfRunResult {
+  std::vector<double> energies;
+  /// Sum over iterations of the parallel Fock-build time (max over ranks)
+  /// -- the quantity Figures 5/6 plot.
+  TimeNs fock_elapsed = 0;
+  TimeNs total_elapsed = 0;
+  std::uint64_t tasks = 0;
+  std::uint64_t steals = 0;  // Scioto only
+};
+
+/// Collective.
+ScfRunResult scf_run(pgas::Runtime& rt, const ScfSystem& sys, LbScheme lb,
+                     int chunk_size = 2);
+
+}  // namespace scioto::apps

@@ -1,0 +1,102 @@
+#include "apps/tce/tce.hpp"
+
+#include <cmath>
+
+#include "base/error.hpp"
+#include "base/linalg.hpp"
+#include "base/rng.hpp"
+
+namespace scioto::apps {
+
+TceSystem TceSystem::build(const TceConfig& cfg) {
+  SCIOTO_REQUIRE(cfg.nblocks >= 1 && cfg.min_block >= 1 &&
+                     cfg.max_block >= cfg.min_block,
+                 "invalid TCE block configuration");
+  SCIOTO_REQUIRE(cfg.density > 0.0 && cfg.density <= 1.0,
+                 "TCE density must be in (0, 1]");
+  TceSystem sys;
+  sys.cfg = cfg;
+  sys.nb = cfg.nblocks;
+  Xoshiro256 rng(derive_seed(cfg.seed, 0, /*stream=*/0x7CE));
+
+  sys.bsize.resize(static_cast<std::size_t>(sys.nb));
+  sys.boff.resize(static_cast<std::size_t>(sys.nb) + 1);
+  std::int64_t off = 0;
+  for (int b = 0; b < sys.nb; ++b) {
+    sys.boff[static_cast<std::size_t>(b)] = off;
+    sys.bsize[static_cast<std::size_t>(b)] =
+        rng.uniform_int(cfg.min_block, cfg.max_block);
+    off += sys.bsize[static_cast<std::size_t>(b)];
+  }
+  sys.boff[static_cast<std::size_t>(sys.nb)] = off;
+  sys.n = off;
+
+  auto mask = [&](std::vector<std::uint8_t>& m) {
+    m.resize(static_cast<std::size_t>(sys.nb) *
+             static_cast<std::size_t>(sys.nb));
+    for (auto& bit : m) {
+      bit = rng.bernoulli(cfg.density) ? 1 : 0;
+    }
+  };
+  mask(sys.nza);
+  mask(sys.nzb);
+  return sys;
+}
+
+double TceSystem::a_elem(std::int64_t i, std::int64_t j) const {
+  if (!a_nonzero(block_of(i), block_of(j))) {
+    return 0.0;
+  }
+  return std::sin(0.013 * static_cast<double>(i + 1)) *
+         std::cos(0.031 * static_cast<double>(j + 1));
+}
+
+double TceSystem::b_elem(std::int64_t i, std::int64_t j) const {
+  if (!b_nonzero(block_of(i), block_of(j))) {
+    return 0.0;
+  }
+  return std::cos(0.017 * static_cast<double>(i + 2)) *
+         std::sin(0.023 * static_cast<double>(j + 2));
+}
+
+int TceSystem::block_of(std::int64_t r) const {
+  SCIOTO_CHECK(r >= 0 && r < n);
+  // Blocks are small in number; linear scan with early exit is fine and
+  // obviously correct.
+  for (int b = 0; b < nb; ++b) {
+    if (r < boff[static_cast<std::size_t>(b) + 1]) {
+      return b;
+    }
+  }
+  return nb - 1;
+}
+
+std::vector<TceTriple> TceSystem::tasks() const {
+  std::vector<TceTriple> out;
+  for (int a = 0; a < nb; ++a) {
+    for (int b = 0; b < nb; ++b) {
+      for (int k = 0; k < nb; ++k) {
+        if (a_nonzero(a, k) && b_nonzero(k, b)) {
+          out.push_back(TceTriple{a, b, k});
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<double> TceSystem::reference() const {
+  std::vector<double> a(static_cast<std::size_t>(n) *
+                        static_cast<std::size_t>(n));
+  std::vector<double> b(a.size()), c(a.size());
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      a[static_cast<std::size_t>(i * n + j)] = a_elem(i, j);
+      b[static_cast<std::size_t>(i * n + j)] = b_elem(i, j);
+    }
+  }
+  matmul(a.data(), b.data(), c.data(), n, n, n);
+  return c;
+}
+
+}  // namespace scioto::apps

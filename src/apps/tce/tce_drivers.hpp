@@ -1,0 +1,28 @@
+// Parallel TCE drivers: block-sparse contraction under a Scioto task
+// collection (tasks seeded at the C/A row owner) or the original
+// global-counter scheme over the replicated triple list.
+#pragma once
+
+#include "apps/lb_scheme.hpp"
+#include "apps/tce/tce.hpp"
+#include "pgas/runtime.hpp"
+
+namespace scioto::apps {
+
+struct TceRunResult {
+  /// Contraction-phase time (max over ranks) -- Figures 5/6's quantity.
+  TimeNs elapsed = 0;
+  std::uint64_t tasks = 0;
+  std::uint64_t steals = 0;  // Scioto only
+  /// Frobenius norm^2 of the result (cheap distributed checksum).
+  double c_norm2 = 0;
+  /// Max |C - reference| if verify was requested, else -1.
+  double max_error = -1;
+};
+
+/// Collective. If `verify`, rank-local comparison against the dense
+/// reference is performed (O(n^2) memory per rank; keep for tests).
+TceRunResult tce_run(pgas::Runtime& rt, const TceSystem& sys, LbScheme lb,
+                     bool verify = false, int chunk_size = 4);
+
+}  // namespace scioto::apps

@@ -1,0 +1,120 @@
+#include "apps/uts/uts_drivers.hpp"
+
+namespace scioto::apps {
+
+namespace {
+
+/// Shared node-processing kernel: charges the per-node cost, updates the
+/// per-rank counts, and walks a chain of first-children inline, handing
+/// every other child to `emit`. The inline continuation mirrors what a
+/// depth-first UTS worker does with its explicit stack: only siblings
+/// enter the queue, trimming queue traffic without hiding work from
+/// thieves (each emit goes through the normal add path, which releases
+/// work to the shared portion).
+template <class EmitFn>
+void process_chain(UtsNode node, const UtsParams& tree, TimeNs node_cost,
+                   pgas::Runtime& rt, UtsCounts& counts, EmitFn&& emit) {
+  for (;;) {
+    rt.charge(node_cost);
+    ++counts.nodes;
+    counts.max_depth = std::max<std::int64_t>(counts.max_depth, node.depth);
+    int nc = uts_num_children(node, tree);
+    if (nc == 0) {
+      ++counts.leaves;
+      return;
+    }
+    for (int i = 1; i < nc; ++i) {
+      emit(uts_child(node, i));
+    }
+    node = uts_child(node, 0);
+  }
+}
+
+}  // namespace
+
+UtsResult uts_run_scioto(pgas::Runtime& rt, const UtsParams& tree,
+                         const UtsRunConfig& cfg) {
+  TcConfig tcc;
+  tcc.max_task_body = sizeof(UtsNode);
+  tcc.chunk_size = cfg.chunk;
+  tcc.max_tasks_per_rank = cfg.max_tasks;
+  tcc.queue_mode = cfg.queue_mode;
+  tcc.color_optimization = cfg.color_optimization;
+  TaskCollection tc(rt, tcc);
+
+  UtsCounts local;
+  CloHandle counts_clo = tc.register_clo(&local);
+  TaskHandle h = tc.register_callback([&, counts_clo](TaskContext& ctx) {
+    UtsCounts& counts = ctx.tc.clo<UtsCounts>(counts_clo);
+    process_chain(ctx.body_as<UtsNode>(), tree, cfg.node_cost,
+                  ctx.tc.runtime(), counts, [&](const UtsNode& child) {
+                    Task t = ctx.tc.task_create(sizeof(UtsNode),
+                                                ctx.header.callback);
+                    t.body_as<UtsNode>() = child;
+                    ctx.tc.add_local(t);
+                  });
+  });
+
+  if (rt.me() == 0) {
+    Task t = tc.task_create(sizeof(UtsNode), h);
+    t.body_as<UtsNode>() = uts_root(tree);
+    tc.add_local(t);
+  }
+
+  rt.barrier();
+  TimeNs t0 = rt.now();
+  tc.process();
+  TimeNs elapsed = rt.allreduce_max(rt.now() - t0);
+
+  UtsResult res;
+  res.counts.nodes = rt.allreduce_sum(local.nodes);
+  res.counts.leaves = rt.allreduce_sum(local.leaves);
+  res.counts.max_depth = rt.allreduce_max(local.max_depth);
+  res.elapsed = elapsed;
+  res.mnodes_per_sec =
+      static_cast<double>(res.counts.nodes) / (to_sec(elapsed) * 1e6);
+  TcStats g = tc.stats_global();
+  res.steals = g.steals;
+  res.tasks_stolen = g.tasks_stolen;
+  tc.destroy();
+  return res;
+}
+
+UtsResult uts_run_mpi_ws(pgas::Runtime& rt, const UtsParams& tree,
+                         const UtsRunConfig& cfg) {
+  baselines::MpiWorkStealing::Config wcfg;
+  wcfg.task_bytes = sizeof(UtsNode);
+  wcfg.chunk = cfg.chunk;
+  wcfg.poll_interval = cfg.poll_interval;
+  baselines::MpiWorkStealing ws(rt, wcfg);
+
+  UtsCounts local;
+  if (rt.me() == 0) {
+    UtsNode root = uts_root(tree);
+    ws.spawn(&root);
+  }
+
+  rt.barrier();
+  TimeNs t0 = rt.now();
+  auto stats = ws.process([&](const void* rec) {
+    UtsNode node;
+    std::memcpy(&node, rec, sizeof(node));
+    process_chain(node, tree, cfg.node_cost, rt, local,
+                  [&](const UtsNode& child) { ws.spawn(&child); });
+  });
+  TimeNs elapsed = rt.allreduce_max(rt.now() - t0);
+
+  UtsResult res;
+  res.counts.nodes = rt.allreduce_sum(local.nodes);
+  res.counts.leaves = rt.allreduce_sum(local.leaves);
+  res.counts.max_depth = rt.allreduce_max(local.max_depth);
+  res.elapsed = elapsed;
+  res.mnodes_per_sec =
+      static_cast<double>(res.counts.nodes) / (to_sec(elapsed) * 1e6);
+  res.steals = static_cast<std::uint64_t>(stats.steals_successful);
+  res.tasks_stolen = static_cast<std::uint64_t>(stats.tasks_received);
+  res.polls = static_cast<std::uint64_t>(stats.polls);
+  return res;
+}
+
+}  // namespace scioto::apps

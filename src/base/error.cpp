@@ -1,0 +1,16 @@
+#include "base/error.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace scioto::detail {
+
+[[noreturn]] void fail(const char* kind, const char* expr, const char* file,
+                       int line, const std::string& msg) {
+  std::fprintf(stderr, "scioto %s violation: %s at %s:%d%s%s\n", kind, expr,
+               file, line, msg.empty() ? "" : " -- ", msg.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace scioto::detail

@@ -1,0 +1,54 @@
+// Error handling: a library exception type plus CHECK macros.
+//
+// Internal invariants use SCIOTO_CHECK (always on, they guard queue and
+// termination-detection correctness); user-facing argument validation uses
+// SCIOTO_REQUIRE which produces an Error with a formatted message.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace scioto {
+
+/// Exception thrown for all user-facing Scioto errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void fail(const char* kind, const char* expr, const char* file,
+                       int line, const std::string& msg);
+}  // namespace detail
+
+}  // namespace scioto
+
+/// Internal invariant check. Never compiled out: a violated invariant in the
+/// task queue or termination detector must abort loudly, not corrupt results.
+#define SCIOTO_CHECK(expr)                                                  \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      ::scioto::detail::fail("invariant", #expr, __FILE__, __LINE__, "");   \
+    }                                                                       \
+  } while (0)
+
+#define SCIOTO_CHECK_MSG(expr, ...)                                         \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      std::ostringstream oss_;                                              \
+      oss_ << __VA_ARGS__;                                                  \
+      ::scioto::detail::fail("invariant", #expr, __FILE__, __LINE__,        \
+                             oss_.str());                                   \
+    }                                                                       \
+  } while (0)
+
+/// Argument / precondition validation; throws scioto::Error.
+#define SCIOTO_REQUIRE(expr, ...)                                           \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      std::ostringstream oss_;                                              \
+      oss_ << __VA_ARGS__;                                                  \
+      throw ::scioto::Error(oss_.str());                                    \
+    }                                                                       \
+  } while (0)

@@ -1,0 +1,113 @@
+#include "base/linalg.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "base/error.hpp"
+
+namespace scioto {
+
+void matmul(const double* a, const double* b, double* c, std::int64_t m,
+            std::int64_t k, std::int64_t n) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      c[i * n + j] = 0.0;
+    }
+    for (std::int64_t p = 0; p < k; ++p) {
+      double aip = a[i * k + p];
+      if (aip == 0.0) continue;
+      const double* brow = b + p * n;
+      double* crow = c + i * n;
+      for (std::int64_t j = 0; j < n; ++j) {
+        crow[j] += aip * brow[j];
+      }
+    }
+  }
+}
+
+double frobenius(const double* a, std::int64_t m, std::int64_t n) {
+  double s = 0;
+  for (std::int64_t i = 0; i < m * n; ++i) {
+    s += a[i] * a[i];
+  }
+  return std::sqrt(s);
+}
+
+void jacobi_eigensymm(std::vector<double> a, std::int64_t n,
+                      std::vector<double>& eigenvalues,
+                      std::vector<double>& eigenvectors, int max_sweeps) {
+  SCIOTO_REQUIRE(static_cast<std::int64_t>(a.size()) == n * n,
+                 "jacobi: matrix size mismatch");
+  // V starts as identity and accumulates rotations.
+  std::vector<double> v(static_cast<std::size_t>(n * n), 0.0);
+  for (std::int64_t i = 0; i < n; ++i) {
+    v[static_cast<std::size_t>(i * n + i)] = 1.0;
+  }
+
+  auto at = [&](std::int64_t i, std::int64_t j) -> double& {
+    return a[static_cast<std::size_t>(i * n + j)];
+  };
+  auto vt = [&](std::int64_t i, std::int64_t j) -> double& {
+    return v[static_cast<std::size_t>(i * n + j)];
+  };
+
+  const double tol = 1e-14;
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0;
+    for (std::int64_t i = 0; i < n; ++i) {
+      for (std::int64_t j = i + 1; j < n; ++j) {
+        off += at(i, j) * at(i, j);
+      }
+    }
+    if (off < tol * tol) {
+      break;
+    }
+    for (std::int64_t p = 0; p < n - 1; ++p) {
+      for (std::int64_t q = p + 1; q < n; ++q) {
+        double apq = at(p, q);
+        if (std::abs(apq) < 1e-300) continue;
+        double app = at(p, p), aqq = at(q, q);
+        double theta = (aqq - app) / (2.0 * apq);
+        double t = (theta >= 0 ? 1.0 : -1.0) /
+                   (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        double c = 1.0 / std::sqrt(t * t + 1.0);
+        double s = t * c;
+
+        for (std::int64_t i = 0; i < n; ++i) {
+          double aip = at(i, p), aiq = at(i, q);
+          at(i, p) = c * aip - s * aiq;
+          at(i, q) = s * aip + c * aiq;
+        }
+        for (std::int64_t i = 0; i < n; ++i) {
+          double api = at(p, i), aqi = at(q, i);
+          at(p, i) = c * api - s * aqi;
+          at(q, i) = s * api + c * aqi;
+        }
+        for (std::int64_t i = 0; i < n; ++i) {
+          double vip = vt(i, p), viq = vt(i, q);
+          vt(i, p) = c * vip - s * viq;
+          vt(i, q) = s * vip + c * viq;
+        }
+      }
+    }
+  }
+
+  // Extract and sort eigenpairs ascending.
+  std::vector<std::int64_t> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::int64_t x, std::int64_t y) {
+    return at(x, x) < at(y, y);
+  });
+  eigenvalues.assign(static_cast<std::size_t>(n), 0.0);
+  eigenvectors.assign(static_cast<std::size_t>(n * n), 0.0);
+  for (std::int64_t col = 0; col < n; ++col) {
+    std::int64_t src = order[static_cast<std::size_t>(col)];
+    eigenvalues[static_cast<std::size_t>(col)] = at(src, src);
+    for (std::int64_t i = 0; i < n; ++i) {
+      eigenvectors[static_cast<std::size_t>(i * n + col)] = vt(i, src);
+    }
+  }
+}
+
+}  // namespace scioto

@@ -1,0 +1,36 @@
+// Small dense linear-algebra substrate: just enough for the SCF
+// application's replicated density update (symmetric eigendecomposition
+// via cyclic Jacobi) plus helpers used by tests and the matmul example.
+//
+// Matrices are row-major std::vector<double> with explicit dimensions;
+// sizes here are O(100), so clarity beats blocking.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace scioto {
+
+/// C = A(m x k) * B(k x n), row-major.
+void matmul(const double* a, const double* b, double* c, std::int64_t m,
+            std::int64_t k, std::int64_t n);
+
+/// Frobenius norm of an m x n matrix.
+double frobenius(const double* a, std::int64_t m, std::int64_t n);
+
+/// Symmetric eigendecomposition by cyclic Jacobi rotations.
+///
+/// On input `a` is a symmetric n x n matrix (row-major, only fully stored
+/// form is used). On output `eigenvalues[i]` / column i of `eigenvectors`
+/// hold the i-th eigenpair, sorted ascending. Deterministic: the sweep
+/// order is fixed, so every rank computing this replicated obtains
+/// bit-identical results.
+///
+/// Converges quadratically; `max_sweeps` bounds the work (15 is far more
+/// than needed for n <= 1000).
+void jacobi_eigensymm(std::vector<double> a, std::int64_t n,
+                      std::vector<double>& eigenvalues,
+                      std::vector<double>& eigenvectors,
+                      int max_sweeps = 30);
+
+}  // namespace scioto

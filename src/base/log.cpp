@@ -1,0 +1,57 @@
+#include "base/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace scioto {
+
+namespace {
+
+LogLevel initial_level() {
+  const char* env = std::getenv("SCIOTO_LOG");
+  if (env == nullptr) return LogLevel::Warn;
+  if (std::strcmp(env, "error") == 0) return LogLevel::Error;
+  if (std::strcmp(env, "warn") == 0) return LogLevel::Warn;
+  if (std::strcmp(env, "info") == 0) return LogLevel::Info;
+  if (std::strcmp(env, "debug") == 0) return LogLevel::Debug;
+  return LogLevel::Warn;
+}
+
+std::atomic<int>& level_ref() {
+  static std::atomic<int> level{static_cast<int>(initial_level())};
+  return level;
+}
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Error:
+      return "ERROR";
+    case LogLevel::Warn:
+      return "WARN";
+    case LogLevel::Info:
+      return "INFO";
+    case LogLevel::Debug:
+      return "DEBUG";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel log_level() { return static_cast<LogLevel>(level_ref().load()); }
+
+void set_log_level(LogLevel level) {
+  level_ref().store(static_cast<int>(level));
+}
+
+namespace detail {
+
+void log_emit(LogLevel level, const std::string& msg) {
+  std::fprintf(stderr, "[scioto %s] %s\n", level_name(level), msg.c_str());
+}
+
+}  // namespace detail
+
+}  // namespace scioto

@@ -1,0 +1,174 @@
+#include "base/options.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "base/error.hpp"
+
+namespace scioto {
+
+void Options::add_int(const std::string& name, std::int64_t default_value,
+                      const std::string& help) {
+  Opt o;
+  o.kind = Kind::Int;
+  o.help = help;
+  o.i = default_value;
+  SCIOTO_REQUIRE(opts_.emplace(name, std::move(o)).second,
+                 "duplicate option --" << name);
+  order_.push_back(name);
+}
+
+void Options::add_double(const std::string& name, double default_value,
+                         const std::string& help) {
+  Opt o;
+  o.kind = Kind::Double;
+  o.help = help;
+  o.d = default_value;
+  SCIOTO_REQUIRE(opts_.emplace(name, std::move(o)).second,
+                 "duplicate option --" << name);
+  order_.push_back(name);
+}
+
+void Options::add_string(const std::string& name,
+                         const std::string& default_value,
+                         const std::string& help) {
+  Opt o;
+  o.kind = Kind::String;
+  o.help = help;
+  o.s = default_value;
+  SCIOTO_REQUIRE(opts_.emplace(name, std::move(o)).second,
+                 "duplicate option --" << name);
+  order_.push_back(name);
+}
+
+void Options::add_flag(const std::string& name, bool default_value,
+                       const std::string& help) {
+  Opt o;
+  o.kind = Kind::Flag;
+  o.help = help;
+  o.b = default_value;
+  SCIOTO_REQUIRE(opts_.emplace(name, std::move(o)).second,
+                 "duplicate option --" << name);
+  order_.push_back(name);
+}
+
+void Options::set_from_string(Opt& o, const std::string& name,
+                              const std::string& value) {
+  try {
+    switch (o.kind) {
+      case Kind::Int:
+        o.i = std::stoll(value);
+        break;
+      case Kind::Double:
+        o.d = std::stod(value);
+        break;
+      case Kind::String:
+        o.s = value;
+        break;
+      case Kind::Flag:
+        o.b = (value == "1" || value == "true" || value == "yes");
+        break;
+    }
+  } catch (const std::exception&) {
+    throw Error("invalid value '" + value + "' for option --" + name);
+  }
+}
+
+bool Options::parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(usage().c_str(), stdout);
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string name = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    if (auto eq = name.find('='); eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+      has_value = true;
+    }
+
+    // --no-foo clears flag foo.
+    if (!has_value && name.rfind("no-", 0) == 0) {
+      auto it = opts_.find(name.substr(3));
+      if (it != opts_.end() && it->second.kind == Kind::Flag) {
+        it->second.b = false;
+        continue;
+      }
+    }
+
+    auto it = opts_.find(name);
+    SCIOTO_REQUIRE(it != opts_.end(),
+                   "unknown option --" << name << "\n" << usage());
+    Opt& o = it->second;
+    if (o.kind == Kind::Flag && !has_value) {
+      o.b = true;
+      continue;
+    }
+    if (!has_value) {
+      SCIOTO_REQUIRE(i + 1 < argc, "missing value for option --" << name);
+      value = argv[++i];
+    }
+    set_from_string(o, name, value);
+  }
+  return true;
+}
+
+const Options::Opt& Options::find(const std::string& name, Kind kind) const {
+  auto it = opts_.find(name);
+  SCIOTO_REQUIRE(it != opts_.end(), "option --" << name << " not registered");
+  SCIOTO_REQUIRE(it->second.kind == kind,
+                 "option --" << name << " accessed with wrong type");
+  return it->second;
+}
+
+std::int64_t Options::get_int(const std::string& name) const {
+  return find(name, Kind::Int).i;
+}
+
+double Options::get_double(const std::string& name) const {
+  return find(name, Kind::Double).d;
+}
+
+const std::string& Options::get_string(const std::string& name) const {
+  return find(name, Kind::String).s;
+}
+
+bool Options::get_flag(const std::string& name) const {
+  return find(name, Kind::Flag).b;
+}
+
+std::string Options::usage() const {
+  std::ostringstream oss;
+  oss << program_ << " -- " << description_ << "\n\nOptions:\n";
+  for (const auto& name : order_) {
+    const Opt& o = opts_.at(name);
+    oss << "  --" << name;
+    switch (o.kind) {
+      case Kind::Int:
+        oss << " <int>      (default " << o.i << ")";
+        break;
+      case Kind::Double:
+        oss << " <float>    (default " << o.d << ")";
+        break;
+      case Kind::String:
+        oss << " <string>   (default '" << o.s << "')";
+        break;
+      case Kind::Flag:
+        oss << " / --no-" << name << "  (default "
+            << (o.b ? "on" : "off") << ")";
+        break;
+    }
+    oss << "\n      " << o.help << "\n";
+  }
+  return oss.str();
+}
+
+}  // namespace scioto

@@ -1,0 +1,66 @@
+// Minimal command-line option parsing for example and bench binaries.
+//
+// Supports `--name value`, `--name=value`, and boolean `--flag` /
+// `--no-flag`. Unknown options raise an Error listing valid names, so every
+// binary is self-documenting via --help.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace scioto {
+
+class Options {
+ public:
+  Options(std::string program, std::string description)
+      : program_(std::move(program)), description_(std::move(description)) {}
+
+  /// Register options before parse(). `help` is shown by --help.
+  void add_int(const std::string& name, std::int64_t default_value,
+               const std::string& help);
+  void add_double(const std::string& name, double default_value,
+                  const std::string& help);
+  void add_string(const std::string& name, const std::string& default_value,
+                  const std::string& help);
+  void add_flag(const std::string& name, bool default_value,
+                const std::string& help);
+
+  /// Parses argv. Returns false (after printing usage) if --help was given.
+  /// Throws scioto::Error on malformed or unknown options.
+  bool parse(int argc, char** argv);
+
+  std::int64_t get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  const std::string& get_string(const std::string& name) const;
+  bool get_flag(const std::string& name) const;
+
+  /// Positional (non-option) arguments seen during parse.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  std::string usage() const;
+
+ private:
+  enum class Kind { Int, Double, String, Flag };
+  struct Opt {
+    Kind kind;
+    std::string help;
+    std::int64_t i = 0;
+    double d = 0;
+    std::string s;
+    bool b = false;
+  };
+
+  const Opt& find(const std::string& name, Kind kind) const;
+  void set_from_string(Opt& o, const std::string& name,
+                       const std::string& value);
+
+  std::string program_;
+  std::string description_;
+  std::map<std::string, Opt> opts_;
+  std::vector<std::string> order_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace scioto

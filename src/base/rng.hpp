@@ -1,0 +1,55 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic decision in the framework (victim selection, synthetic
+// workload shapes) draws from a per-rank Xoshiro256** stream seeded through
+// SplitMix64, so simulated runs are bit-reproducible across hosts.
+#pragma once
+
+#include <cstdint>
+
+namespace scioto {
+
+/// SplitMix64: used to expand a single seed into independent stream seeds.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next();
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Xoshiro256** 1.0 (Blackman & Vigna): fast, high-quality 64-bit generator.
+class Xoshiro256 {
+ public:
+  /// Seeds the four state words via SplitMix64(seed).
+  explicit Xoshiro256(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  std::uint64_t next();
+
+  /// Uniform in [0, bound). bound must be > 0. Uses rejection sampling to
+  /// avoid modulo bias.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// true with probability p.
+  bool bernoulli(double p) { return uniform() < p; }
+
+ private:
+  std::uint64_t s_[4];
+};
+
+/// Derives a deterministic per-(seed, rank, stream) seed, so each rank and
+/// each purpose gets an independent random stream.
+std::uint64_t derive_seed(std::uint64_t base_seed, int rank, int stream);
+
+}  // namespace scioto

@@ -1,0 +1,134 @@
+#include "base/sha1.hpp"
+
+#include <cstring>
+
+namespace scioto {
+
+namespace {
+
+inline std::uint32_t rotl(std::uint32_t x, int n) {
+  return (x << n) | (x >> (32 - n));
+}
+
+}  // namespace
+
+void Sha1::reset() {
+  state_ = {0x67452301u, 0xEFCDAB89u, 0x98BADCFEu, 0x10325476u, 0xC3D2E1F0u};
+  total_bytes_ = 0;
+  buffered_ = 0;
+}
+
+void Sha1::process_block(const std::uint8_t* block) {
+  std::uint32_t w[80];
+  for (int i = 0; i < 16; ++i) {
+    w[i] = (std::uint32_t(block[i * 4]) << 24) |
+           (std::uint32_t(block[i * 4 + 1]) << 16) |
+           (std::uint32_t(block[i * 4 + 2]) << 8) |
+           std::uint32_t(block[i * 4 + 3]);
+  }
+  for (int i = 16; i < 80; ++i) {
+    w[i] = rotl(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+  }
+
+  std::uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3],
+                e = state_[4];
+
+  for (int i = 0; i < 80; ++i) {
+    std::uint32_t f, k;
+    if (i < 20) {
+      f = (b & c) | (~b & d);
+      k = 0x5A827999u;
+    } else if (i < 40) {
+      f = b ^ c ^ d;
+      k = 0x6ED9EBA1u;
+    } else if (i < 60) {
+      f = (b & c) | (b & d) | (c & d);
+      k = 0x8F1BBCDCu;
+    } else {
+      f = b ^ c ^ d;
+      k = 0xCA62C1D6u;
+    }
+    std::uint32_t tmp = rotl(a, 5) + f + e + k + w[i];
+    e = d;
+    d = c;
+    c = rotl(b, 30);
+    b = a;
+    a = tmp;
+  }
+
+  state_[0] += a;
+  state_[1] += b;
+  state_[2] += c;
+  state_[3] += d;
+  state_[4] += e;
+}
+
+void Sha1::update(const void* data, std::size_t len) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  total_bytes_ += len;
+
+  if (buffered_ > 0) {
+    std::size_t take = std::min(len, buffer_.size() - buffered_);
+    std::memcpy(buffer_.data() + buffered_, p, take);
+    buffered_ += take;
+    p += take;
+    len -= take;
+    if (buffered_ == buffer_.size()) {
+      process_block(buffer_.data());
+      buffered_ = 0;
+    }
+  }
+  while (len >= 64) {
+    process_block(p);
+    p += 64;
+    len -= 64;
+  }
+  if (len > 0) {
+    std::memcpy(buffer_.data(), p, len);
+    buffered_ = len;
+  }
+}
+
+Sha1::Digest Sha1::finish() {
+  const std::uint64_t bit_len = total_bytes_ * 8;
+  // Pad: 0x80, zeros, then the 64-bit big-endian bit length.
+  const std::uint8_t pad80 = 0x80;
+  update(&pad80, 1);
+  const std::uint8_t zero = 0x00;
+  while (buffered_ != 56) {
+    update(&zero, 1);
+  }
+  std::uint8_t len_be[8];
+  for (int i = 0; i < 8; ++i) {
+    len_be[i] = static_cast<std::uint8_t>(bit_len >> (56 - 8 * i));
+  }
+  update(len_be, 8);
+
+  Digest d;
+  for (int i = 0; i < 5; ++i) {
+    d[i * 4] = static_cast<std::uint8_t>(state_[i] >> 24);
+    d[i * 4 + 1] = static_cast<std::uint8_t>(state_[i] >> 16);
+    d[i * 4 + 2] = static_cast<std::uint8_t>(state_[i] >> 8);
+    d[i * 4 + 3] = static_cast<std::uint8_t>(state_[i]);
+  }
+  return d;
+}
+
+Sha1::Digest Sha1::hash(const void* data, std::size_t len) {
+  Sha1 h;
+  h.update(data, len);
+  return h.finish();
+}
+
+std::string Sha1::hex(const Digest& d) {
+  static const char* kHex = "0123456789abcdef";
+  std::string s;
+  s.reserve(kDigestBytes * 2);
+  for (std::uint8_t b : d) {
+    s.push_back(kHex[b >> 4]);
+    s.push_back(kHex[b & 0xF]);
+  }
+  return s;
+}
+
+}  // namespace scioto

@@ -1,0 +1,54 @@
+// SHA-1 message digest (RFC 3174), implemented from scratch.
+//
+// Used by the UTS benchmark as a splittable deterministic RNG: each tree
+// node is described by a 20-byte digest, and child i's state is
+// SHA1(parent_state || i). The implementation below is a straightforward,
+// dependency-free rendition of the FIPS 180-1 algorithm.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace scioto {
+
+/// Incremental SHA-1 hasher.
+///
+/// Usage:
+///   Sha1 h;
+///   h.update(buf, len);
+///   Sha1::Digest d = h.finish();
+class Sha1 {
+ public:
+  static constexpr std::size_t kDigestBytes = 20;
+  using Digest = std::array<std::uint8_t, kDigestBytes>;
+
+  Sha1() { reset(); }
+
+  /// Re-initialize to the empty-message state.
+  void reset();
+
+  /// Absorb `len` bytes.
+  void update(const void* data, std::size_t len);
+
+  /// Finalize and return the digest. The hasher must be reset() before
+  /// further use.
+  Digest finish();
+
+  /// One-shot convenience.
+  static Digest hash(const void* data, std::size_t len);
+
+  /// Lowercase hex rendering of a digest (for tests and debugging).
+  static std::string hex(const Digest& d);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 5> state_{};
+  std::uint64_t total_bytes_ = 0;
+  std::array<std::uint8_t, 64> buffer_{};
+  std::size_t buffered_ = 0;
+};
+
+}  // namespace scioto

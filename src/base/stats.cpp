@@ -1,0 +1,39 @@
+#include "base/stats.hpp"
+
+#include <sstream>
+
+namespace scioto {
+
+void Accumulator::add(double x) {
+  ++n_;
+  double delta = x - mean_;
+  mean_ += delta / double(n_);
+  m2_ += delta * (x - mean_);
+  if (x < min_) min_ = x;
+  if (x > max_) max_ = x;
+}
+
+void Accumulator::merge(const Accumulator& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  double delta = other.mean_ - mean_;
+  std::int64_t n = n_ + other.n_;
+  m2_ += other.m2_ +
+         delta * delta * double(n_) * double(other.n_) / double(n);
+  mean_ += delta * double(other.n_) / double(n);
+  n_ = n;
+  if (other.min_ < min_) min_ = other.min_;
+  if (other.max_ > max_) max_ = other.max_;
+}
+
+std::string Accumulator::summary(const std::string& unit) const {
+  std::ostringstream oss;
+  oss << "n=" << n_ << " mean=" << mean() << unit << " sd=" << stddev()
+      << " min=" << min() << unit << " max=" << max() << unit;
+  return oss.str();
+}
+
+}  // namespace scioto

@@ -1,0 +1,38 @@
+// Streaming statistics accumulators used by the runtime's per-rank counters
+// and by benchmark harnesses.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace scioto {
+
+/// Welford one-pass accumulator: count / mean / variance / min / max.
+class Accumulator {
+ public:
+  void add(double x);
+
+  /// Merges another accumulator (Chan et al. parallel combination).
+  void merge(const Accumulator& other);
+
+  std::int64_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const { return n_ > 1 ? m2_ / double(n_ - 1) : 0.0; }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return n_ ? mean_ * double(n_) : 0.0; }
+
+  std::string summary(const std::string& unit = "") const;
+
+ private:
+  std::int64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace scioto

@@ -1,0 +1,88 @@
+#include "base/table.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "base/error.hpp"
+
+namespace scioto {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  SCIOTO_REQUIRE(!headers_.empty(), "table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  SCIOTO_REQUIRE(cells.size() == headers_.size(),
+                 "row arity " << cells.size() << " != header arity "
+                              << headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::fmt(std::int64_t v) { return std::to_string(v); }
+
+std::string Table::render(const std::string& title) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    width[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+
+  std::ostringstream oss;
+  oss << "== " << title << " ==\n";
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      oss << (c == 0 ? "" : "  ");
+      // Right-align numeric-looking cells, left-align the first column.
+      std::size_t pad = width[c] - row[c].size();
+      if (c == 0) {
+        oss << row[c] << std::string(pad, ' ');
+      } else {
+        oss << std::string(pad, ' ') << row[c];
+      }
+    }
+    oss << "\n";
+  };
+  emit_row(headers_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < width.size(); ++c) {
+    total += width[c] + (c == 0 ? 0 : 2);
+  }
+  oss << std::string(total, '-') << "\n";
+  for (const auto& row : rows_) {
+    emit_row(row);
+  }
+
+  // Machine-readable mirror.
+  oss << "# csv: ";
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    oss << (c ? "," : "") << headers_[c];
+  }
+  oss << "\n";
+  for (const auto& row : rows_) {
+    oss << "# csv: ";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      oss << (c ? "," : "") << row[c];
+    }
+    oss << "\n";
+  }
+  return oss.str();
+}
+
+void Table::print(const std::string& title) const {
+  std::string s = render(title);
+  std::fputs(s.c_str(), stdout);
+  std::fputs("\n", stdout);
+  std::fflush(stdout);
+}
+
+}  // namespace scioto

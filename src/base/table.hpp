@@ -1,0 +1,35 @@
+// Aligned plain-text table output for benchmark harnesses.
+//
+// Every figure/table bench prints its series through this so the output is
+// uniform, parseable (a `# csv:` block follows the pretty table), and easy
+// to diff against EXPERIMENTS.md.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace scioto {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends one row; must have the same arity as the headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string fmt(double v, int precision = 3);
+  static std::string fmt(std::int64_t v);
+
+  /// Renders an aligned table followed by a machine-readable CSV block.
+  std::string render(const std::string& title) const;
+
+  /// Renders and writes to stdout.
+  void print(const std::string& title) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace scioto

@@ -1,0 +1,39 @@
+// Common type aliases and small helpers shared across the Scioto codebase.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+namespace scioto {
+
+/// Identifier of a simulated or real process (an MPI/ARMCI-style "rank").
+using Rank = int;
+
+/// Virtual or wall-clock time in nanoseconds.
+using TimeNs = std::int64_t;
+
+inline constexpr Rank kNoRank = -1;
+inline constexpr TimeNs kTimeNever = std::numeric_limits<TimeNs>::max();
+
+/// Nanosecond literal helpers used by machine models and cost charging.
+constexpr TimeNs ns(std::int64_t v) { return v; }
+constexpr TimeNs us(double v) { return static_cast<TimeNs>(v * 1e3); }
+constexpr TimeNs ms(double v) { return static_cast<TimeNs>(v * 1e6); }
+constexpr TimeNs sec(double v) { return static_cast<TimeNs>(v * 1e9); }
+
+constexpr double to_us(TimeNs t) { return static_cast<double>(t) / 1e3; }
+constexpr double to_ms(TimeNs t) { return static_cast<double>(t) / 1e6; }
+constexpr double to_sec(TimeNs t) { return static_cast<double>(t) / 1e9; }
+
+/// Integer ceiling division for sizes and block computations.
+constexpr std::size_t ceil_div(std::size_t a, std::size_t b) {
+  return (a + b - 1) / b;
+}
+
+/// Round `n` up to a multiple of `align` (align must be a power of two).
+constexpr std::size_t align_up(std::size_t n, std::size_t align) {
+  return (n + align - 1) & ~(align - 1);
+}
+
+}  // namespace scioto

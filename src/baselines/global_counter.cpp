@@ -1,0 +1,3 @@
+#include "baselines/global_counter.hpp"
+
+// Header-only implementation; this TU anchors the component in the build.

@@ -1,0 +1,59 @@
+// The "Original" dynamic load balancer of the paper's SCF and TCE codes
+// (§6.2): every process holds the complete (replicated) task list and
+// claims the next task by atomically incrementing one shared counter
+// (GA's NXTVAL idiom).
+//
+// This scheme is locality-oblivious -- task i runs on whichever rank drew
+// ticket i, regardless of where its data lives -- and the single counter
+// serializes through its home rank's RMA service queue. Figures 5 and 6
+// show the resulting scaling collapse relative to Scioto.
+#pragma once
+
+#include <functional>
+
+#include "ga/counter.hpp"
+#include "pgas/runtime.hpp"
+
+namespace scioto::baselines {
+
+class GlobalCounterScheduler {
+ public:
+  struct Stats {
+    std::int64_t tasks_executed = 0;  // by this rank
+    TimeNs time_total = 0;
+  };
+
+  /// Collective. The counter is homed on `home`.
+  explicit GlobalCounterScheduler(pgas::Runtime& rt, Rank home = 0)
+      : rt_(rt), counter_(rt, home) {}
+
+  /// Collective. Processes tasks [0, num_tasks): each rank repeatedly
+  /// draws the next ticket and runs `run_task(ticket)`. Returns when the
+  /// list is exhausted on all ranks.
+  Stats process(std::int64_t num_tasks,
+                const std::function<void(std::int64_t)>& run_task) {
+    counter_.reset(0);
+    Stats st;
+    TimeNs t0 = rt_.now();
+    for (;;) {
+      std::int64_t ticket = counter_.next();
+      if (ticket >= num_tasks) {
+        break;
+      }
+      run_task(ticket);
+      ++st.tasks_executed;
+    }
+    rt_.barrier();
+    st.time_total = rt_.now() - t0;
+    return st;
+  }
+
+  /// Collective.
+  void destroy() { counter_.destroy(); }
+
+ private:
+  pgas::Runtime& rt_;
+  ga::SharedCounter counter_;
+};
+
+}  // namespace scioto::baselines

@@ -1,0 +1,224 @@
+#include "baselines/mpi_ws.hpp"
+
+#include <algorithm>
+
+namespace scioto::baselines {
+
+MpiWorkStealing::MpiWorkStealing(pgas::Runtime& rt, Config cfg)
+    : rt_(rt), cfg_(cfg),
+      rng_(derive_seed(rt.seed(), rt.me(), /*stream=*/0x35)) {}
+
+void MpiWorkStealing::spawn(const void* task) {
+  std::vector<std::byte> rec(cfg_.task_bytes);
+  std::memcpy(rec.data(), task, cfg_.task_bytes);
+  deque_.push_back(std::move(rec));
+  // The steal stack maintains the same record copies and index bookkeeping
+  // as any stealable work queue; charge it like one.
+  rt_.charge(rt_.machine().local_insert);
+}
+
+void MpiWorkStealing::reply_to_steal(Rank thief) {
+  // Ship up to `chunk` tasks from the oldest (FIFO) end; an empty reply
+  // still unblocks the thief.
+  int n = static_cast<int>(
+      std::min<std::size_t>(static_cast<std::size_t>(cfg_.chunk),
+                            deque_.size() / 2));
+  std::vector<std::byte> payload(sizeof(std::int32_t) +
+                                 static_cast<std::size_t>(n) *
+                                     cfg_.task_bytes);
+  std::int32_t count = n;
+  std::memcpy(payload.data(), &count, sizeof(count));
+  for (int i = 0; i < n; ++i) {
+    std::memcpy(payload.data() + sizeof(count) +
+                    static_cast<std::size_t>(i) * cfg_.task_bytes,
+                deque_.front().data(), cfg_.task_bytes);
+    deque_.pop_front();
+  }
+  if (n > 0) {
+    moved_work_ = true;  // the token wave must re-vote (Dijkstra coloring)
+  }
+  rt_.send(thief, kTagStealRsp, payload.data(), payload.size());
+  ++stats_.requests_serviced;
+}
+
+bool MpiWorkStealing::service() {
+  ++stats_.polls;
+  pgas::MsgInfo info;
+  while (rt_.iprobe(pgas::kAnyRank, kTagStealReq, &info)) {
+    std::byte dummy;
+    rt_.try_recv(info.from, kTagStealReq, &dummy, sizeof(dummy), nullptr);
+    reply_to_steal(info.from);
+  }
+  // Down-wave tokens are forwarded immediately (forwarding is independent
+  // of idleness; only the vote requires being idle).
+  std::uint64_t wave;
+  while (rt_.try_recv(pgas::kAnyRank, kTagTokenDown, &wave, sizeof(wave),
+                      nullptr)) {
+    if (wave > wave_seen_) {
+      wave_seen_ = wave;
+      for (int s = 0; s < 2; ++s) {
+        if (has_child(s)) {
+          rt_.send(child(s), kTagTokenDown, &wave_seen_, sizeof(wave_seen_));
+        }
+      }
+    }
+  }
+  UpToken up;
+  while (rt_.try_recv(pgas::kAnyRank, kTagTokenUp, &up, sizeof(up),
+                      nullptr)) {
+    child_wave_[up.child_slot] = up.wave;
+    child_black_[up.child_slot] = up.black != 0;
+  }
+  std::int32_t term;
+  if (rt_.try_recv(pgas::kAnyRank, kTagTerm, &term, sizeof(term), nullptr)) {
+    for (int s = 0; s < 2; ++s) {
+      if (has_child(s)) {
+        rt_.send(child(s), kTagTerm, &term, sizeof(term));
+      }
+    }
+    terminated_ = true;
+    return true;
+  }
+  return false;
+}
+
+bool MpiWorkStealing::token_progress() {
+  // Root launches the next wave once the previous one concluded.
+  if (rt_.me() == 0 && wave_seen_ == voted_wave_) {
+    ++wave_seen_;
+    ++stats_.token_waves;
+    for (int s = 0; s < 2; ++s) {
+      if (has_child(s)) {
+        rt_.send(child(s), kTagTokenDown, &wave_seen_, sizeof(wave_seen_));
+      }
+    }
+  }
+  if (wave_seen_ <= voted_wave_) {
+    return false;
+  }
+  // Vote when idle (caller guarantees) and both children reported.
+  bool children_in = true;
+  bool children_black = false;
+  for (int s = 0; s < 2; ++s) {
+    if (!has_child(s)) continue;
+    if (child_wave_[s] != wave_seen_) {
+      children_in = false;
+      break;
+    }
+    children_black = children_black || child_black_[s];
+  }
+  if (!children_in) {
+    return false;
+  }
+  bool black = children_black || moved_work_;
+  moved_work_ = false;
+  voted_wave_ = wave_seen_;
+  if (rt_.me() == 0) {
+    if (!black) {
+      std::int32_t term = 1;
+      for (int s = 0; s < 2; ++s) {
+        if (has_child(s)) {
+          rt_.send(child(s), kTagTerm, &term, sizeof(term));
+        }
+      }
+      terminated_ = true;
+      return true;
+    }
+    return false;  // black: next call launches a fresh wave
+  }
+  UpToken up;
+  up.wave = voted_wave_;
+  up.black = black ? 1 : 0;
+  up.child_slot = static_cast<std::int32_t>((rt_.me() - 1) % 2);
+  rt_.send((rt_.me() - 1) / 2, kTagTokenUp, &up, sizeof(up));
+  return false;
+}
+
+MpiWorkStealing::Stats MpiWorkStealing::process(
+    const std::function<void(const void*)>& execute) {
+  rt_.barrier();
+  stats_ = Stats{};
+  moved_work_ = false;
+  wave_seen_ = voted_wave_ = 0;
+  child_wave_[0] = child_wave_[1] = 0;
+  child_black_[0] = child_black_[1] = false;
+  terminated_ = false;
+  TimeNs t0 = rt_.now();
+  const int n = rt_.nprocs();
+  int since_poll = 0;
+  std::vector<std::byte> task(cfg_.task_bytes);
+  std::vector<std::byte> rsp(sizeof(std::int32_t) +
+                             static_cast<std::size_t>(cfg_.chunk) *
+                                 cfg_.task_bytes);
+
+  while (!terminated_) {
+    if (!deque_.empty()) {
+      if (++since_poll >= cfg_.poll_interval) {
+        since_poll = 0;
+        if (service()) break;
+      }
+      task = std::move(deque_.back());
+      deque_.pop_back();
+      rt_.charge(rt_.machine().local_get);
+      execute(task.data());
+      ++stats_.tasks_executed;
+      continue;
+    }
+
+    // Idle path. Single rank: empty deque means done.
+    if (n == 1) {
+      break;
+    }
+    if (service()) break;
+
+    // One steal attempt: request, then wait for the reply while staying
+    // responsive to requests aimed at us (deadlock avoidance).
+    Rank victim =
+        static_cast<Rank>(rng_.next_below(static_cast<std::uint64_t>(n - 1)));
+    if (victim >= rt_.me()) {
+      ++victim;
+    }
+    std::byte ping{1};
+    rt_.send(victim, kTagStealReq, &ping, sizeof(ping));
+    ++stats_.steals_attempted;
+    bool replied = false;
+    while (!replied && !terminated_) {
+      if (rt_.try_recv(victim, kTagStealRsp, rsp.data(), rsp.size(),
+                       nullptr)) {
+        std::int32_t count;
+        std::memcpy(&count, rsp.data(), sizeof(count));
+        for (std::int32_t i = 0; i < count; ++i) {
+          deque_.emplace_back(
+              rsp.begin() + sizeof(count) +
+                  static_cast<std::ptrdiff_t>(i) *
+                      static_cast<std::ptrdiff_t>(cfg_.task_bytes),
+              rsp.begin() + sizeof(count) +
+                  static_cast<std::ptrdiff_t>(i + 1) *
+                      static_cast<std::ptrdiff_t>(cfg_.task_bytes));
+        }
+        if (count > 0) {
+          ++stats_.steals_successful;
+          stats_.tasks_received += count;
+          moved_work_ = true;  // receiving also blackens our next vote
+        }
+        replied = true;
+      } else {
+        if (service()) break;
+        rt_.relax();
+      }
+    }
+    if (terminated_) break;
+    if (!deque_.empty()) {
+      continue;  // got work
+    }
+    // Failed steal: give the termination wave a chance to advance.
+    if (token_progress()) break;
+    rt_.relax();
+  }
+
+  stats_.time_total = rt_.now() - t0;
+  rt_.barrier();
+  return stats_;
+}
+
+}  // namespace scioto::baselines

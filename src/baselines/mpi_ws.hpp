@@ -1,0 +1,112 @@
+// Two-sided (MPI-style) work stealing with explicit polling: the custom
+// load balancer of the original UTS-MPI implementation the paper compares
+// against (§6.2, citing Dinan et al., IPDPS 2007).
+//
+// Every process keeps a private deque of fixed-size task records (local
+// push/pop are charged at the machine model's queue-operation costs: this
+// "steal stack" maintains the same indexing/counting any stealable work
+// queue does). Local execution pops LIFO; a thief sends a STEAL_REQ
+// message to a random victim and blocks for the reply. Because the model
+// is two-sided, a victim can only service the request when it *polls*
+// between tasks (every cfg.poll_interval executions) -- the
+// explicit-polling overhead and the thief's wait for the victim to reach
+// a poll point are exactly the costs Scioto's one-sided steals avoid
+// (Figures 7 and 8).
+//
+// Termination uses tree-structured token waves over two-sided messages
+// (the message-passing analog of §5.2, standing in for the cancellable
+// barriers of the original UTS-MPI): the root launches a wave down a
+// binary tree when idle; idle ranks with all children reported pass a
+// token up, colored black if they shipped or received tasks since their
+// last vote. An all-white wave proves quiescence and the root broadcasts
+// TERM down the tree -- O(log p) hops per wave, so the termination tail
+// stays negligible even at 512 ranks.
+#pragma once
+
+#include <cstring>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "base/rng.hpp"
+#include "pgas/runtime.hpp"
+
+namespace scioto::baselines {
+
+class MpiWorkStealing {
+ public:
+  struct Config {
+    /// Fixed task record size in bytes.
+    std::size_t task_bytes = 64;
+    /// Max tasks shipped per steal response.
+    int chunk = 10;
+    /// Tasks executed between polls for incoming steal requests.
+    int poll_interval = 1;
+  };
+
+  struct Stats {
+    std::int64_t tasks_executed = 0;
+    std::int64_t steals_attempted = 0;
+    std::int64_t steals_successful = 0;
+    std::int64_t tasks_received = 0;
+    std::int64_t requests_serviced = 0;
+    std::int64_t polls = 0;
+    std::int64_t token_waves = 0;  // root only
+    TimeNs time_total = 0;
+  };
+
+  MpiWorkStealing(pgas::Runtime& rt, Config cfg);
+
+  /// Adds a task record to the *local* deque (pre-seeding or spawned from
+  /// a running task).
+  void spawn(const void* task);
+
+  std::size_t local_size() const { return deque_.size(); }
+
+  /// Collective. Runs `execute(task_bytes)` on every task until global
+  /// termination. `execute` may call spawn().
+  Stats process(const std::function<void(const void*)>& execute);
+
+ private:
+  enum Tag {
+    kTagStealReq = 1001,
+    kTagStealRsp = 1002,
+    kTagTokenDown = 1003,
+    kTagTokenUp = 1004,
+    kTagTerm = 1005,
+  };
+  struct UpToken {
+    std::uint64_t wave = 0;
+    std::int32_t black = 0;
+    std::int32_t child_slot = 0;
+  };
+
+  bool has_child(int slot) const {
+    return 2 * rt_.me() + 1 + slot < rt_.nprocs();
+  }
+  Rank child(int slot) const { return 2 * rt_.me() + 1 + slot; }
+
+  /// Handles any pending steal requests / tokens / TERM. Returns true if
+  /// a TERM was received.
+  bool service();
+  void reply_to_steal(Rank thief);
+  /// Advances the termination-wave protocol; call only while idle with no
+  /// outstanding steal request. Returns true on termination.
+  bool token_progress();
+
+  pgas::Runtime& rt_;
+  Config cfg_;
+  std::deque<std::vector<std::byte>> deque_;
+  Xoshiro256 rng_;
+  Stats stats_;
+
+  // Termination-wave state (mirrors TerminationDetector's local half).
+  bool moved_work_ = false;     // shipped or received tasks since last vote
+  std::uint64_t wave_seen_ = 0;
+  std::uint64_t voted_wave_ = 0;
+  std::uint64_t child_wave_[2] = {0, 0};
+  bool child_black_[2] = {false, false};
+  bool terminated_ = false;
+};
+
+}  // namespace scioto::baselines

@@ -1,0 +1,32 @@
+#include "ga/counter.hpp"
+
+namespace scioto::ga {
+
+SharedCounter::SharedCounter(pgas::Runtime& rt, Rank home)
+    : rt_(rt), home_(home) {
+  SCIOTO_REQUIRE(home >= 0 && home < rt.nprocs(),
+                 "counter home rank " << home << " out of range");
+  seg_ = rt_.seg_alloc(sizeof(std::int64_t));
+}
+
+void SharedCounter::destroy() { rt_.seg_free(seg_); }
+
+std::int64_t SharedCounter::next(std::int64_t stride) {
+  return rt_.fetch_add(seg_, home_, 0, stride);
+}
+
+void SharedCounter::reset(std::int64_t value) {
+  rt_.barrier();
+  if (rt_.me() == home_) {
+    *reinterpret_cast<std::int64_t*>(rt_.seg_ptr(seg_, home_)) = value;
+  }
+  rt_.barrier();
+}
+
+std::int64_t SharedCounter::peek() {
+  std::int64_t v = 0;
+  rt_.get(seg_, home_, 0, &v, sizeof(v));
+  return v;
+}
+
+}  // namespace scioto::ga

@@ -1,0 +1,310 @@
+#include "ga/global_array.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+namespace scioto::ga {
+
+namespace {
+std::vector<std::int64_t> even_split(std::int64_t rows, int nranks) {
+  std::vector<std::int64_t> split(static_cast<std::size_t>(nranks) + 1);
+  for (int r = 0; r <= nranks; ++r) {
+    split[static_cast<std::size_t>(r)] = rows * r / nranks;
+  }
+  return split;
+}
+}  // namespace
+
+GlobalArray::GlobalArray(pgas::Runtime& rt, std::int64_t rows,
+                         std::int64_t cols, std::string name)
+    : GlobalArray(rt, rows, cols, even_split(rows, rt.nprocs()),
+                  std::move(name)) {}
+
+GlobalArray::GlobalArray(pgas::Runtime& rt, std::int64_t rows,
+                         std::int64_t cols,
+                         std::vector<std::int64_t> row_split,
+                         std::string name)
+    : rt_(rt), rows_(rows), cols_(cols), name_(std::move(name)),
+      split_(std::move(row_split)) {
+  SCIOTO_REQUIRE(rows >= 0 && cols >= 0,
+                 "invalid array shape " << rows << "x" << cols);
+  SCIOTO_REQUIRE(static_cast<int>(split_.size()) == rt_.nprocs() + 1 &&
+                     split_.front() == 0 && split_.back() == rows_,
+                 "row_split must have nprocs+1 monotone entries covering ["
+                     << 0 << ", " << rows_ << ")");
+  std::int64_t max_panel_rows = 0;
+  for (Rank r = 0; r < rt_.nprocs(); ++r) {
+    SCIOTO_REQUIRE(row_lo(r) <= row_hi(r), "row_split must be monotone");
+    max_panel_rows = std::max(max_panel_rows, row_hi(r) - row_lo(r));
+  }
+  seg_ = rt_.seg_alloc(static_cast<std::size_t>(max_panel_rows) *
+                       static_cast<std::size_t>(cols_) * sizeof(double));
+  live_ = true;
+}
+
+std::vector<std::int64_t> block_aligned_split(
+    const std::vector<std::int64_t>& offsets, int nranks) {
+  SCIOTO_REQUIRE(offsets.size() >= 2 && offsets.front() == 0,
+                 "offsets must be a prefix array starting at 0");
+  const std::int64_t rows = offsets.back();
+  std::vector<std::int64_t> split(static_cast<std::size_t>(nranks) + 1);
+  split[0] = 0;
+  std::size_t b = 0;  // next unassigned block boundary index
+  for (int r = 1; r < nranks; ++r) {
+    const std::int64_t target = rows * r / nranks;
+    // Advance to the block boundary closest to the even-split target,
+    // never retreating past what earlier ranks took.
+    while (b + 1 < offsets.size() - 1 &&
+           std::abs(offsets[b + 1] - target) <= std::abs(offsets[b] - target)) {
+      ++b;
+    }
+    split[static_cast<std::size_t>(r)] =
+        std::max(split[static_cast<std::size_t>(r) - 1], offsets[b]);
+  }
+  split[static_cast<std::size_t>(nranks)] = rows;
+  return split;
+}
+
+void GlobalArray::destroy() {
+  SCIOTO_REQUIRE(live_, "destroy of dead array " << name_);
+  rt_.seg_free(seg_);
+  live_ = false;
+}
+
+std::int64_t GlobalArray::row_lo(Rank r) const {
+  return split_[static_cast<std::size_t>(r)];
+}
+
+std::int64_t GlobalArray::row_hi(Rank r) const {
+  return split_[static_cast<std::size_t>(r) + 1];
+}
+
+Rank GlobalArray::owner_of_row(std::int64_t row) const {
+  SCIOTO_CHECK(row >= 0 && row < rows_);
+  // First boundary strictly greater than `row` ends the owning panel.
+  auto it = std::upper_bound(split_.begin(), split_.end(), row);
+  return static_cast<Rank>(it - split_.begin() - 1);
+}
+
+Rank GlobalArray::owner_of_patch(std::int64_t i0, std::int64_t j0) const {
+  (void)j0;  // row-panel distribution: column position does not matter
+  return owner_of_row(i0);
+}
+
+template <class Fn>
+void GlobalArray::for_each_owner_span(std::int64_t i0, std::int64_t i1,
+                                      Fn&& fn) {
+  SCIOTO_REQUIRE(0 <= i0 && i0 <= i1 && i1 <= rows_,
+                 "row range [" << i0 << "," << i1 << ") out of bounds for "
+                               << name_ << " with " << rows_ << " rows");
+  std::int64_t i = i0;
+  while (i < i1) {
+    Rank owner = owner_of_row(i);
+    std::int64_t span_end = std::min(i1, row_hi(owner));
+    fn(owner, i, span_end);
+    i = span_end;
+  }
+}
+
+void GlobalArray::get(std::int64_t i0, std::int64_t i1, std::int64_t j0,
+                      std::int64_t j1, double* buf, std::int64_t ld) {
+  SCIOTO_REQUIRE(0 <= j0 && j0 <= j1 && j1 <= cols_ && ld >= j1 - j0,
+                 "bad column range/ld for get on " << name_);
+  for_each_owner_span(i0, i1, [&](Rank owner, std::int64_t lo,
+                                  std::int64_t hi) {
+    // One strided one-sided transfer per owner span (ARMCI_GetS).
+    std::size_t off = (static_cast<std::size_t>(lo - row_lo(owner)) *
+                           static_cast<std::size_t>(cols_) +
+                       static_cast<std::size_t>(j0)) *
+                      sizeof(double);
+    rt_.get_strided(seg_, owner, off,
+                    static_cast<std::size_t>(cols_) * sizeof(double),
+                    static_cast<std::size_t>(hi - lo),
+                    static_cast<std::size_t>(j1 - j0) * sizeof(double),
+                    buf + (lo - i0) * ld,
+                    static_cast<std::size_t>(ld) * sizeof(double));
+  });
+}
+
+void GlobalArray::put(std::int64_t i0, std::int64_t i1, std::int64_t j0,
+                      std::int64_t j1, const double* buf, std::int64_t ld) {
+  SCIOTO_REQUIRE(0 <= j0 && j0 <= j1 && j1 <= cols_ && ld >= j1 - j0,
+                 "bad column range/ld for put on " << name_);
+  for_each_owner_span(i0, i1, [&](Rank owner, std::int64_t lo,
+                                  std::int64_t hi) {
+    // One strided one-sided transfer per owner span (ARMCI_PutS).
+    std::size_t off = (static_cast<std::size_t>(lo - row_lo(owner)) *
+                           static_cast<std::size_t>(cols_) +
+                       static_cast<std::size_t>(j0)) *
+                      sizeof(double);
+    rt_.put_strided(seg_, owner, off,
+                    static_cast<std::size_t>(cols_) * sizeof(double),
+                    static_cast<std::size_t>(hi - lo),
+                    static_cast<std::size_t>(j1 - j0) * sizeof(double),
+                    buf + (lo - i0) * ld,
+                    static_cast<std::size_t>(ld) * sizeof(double));
+  });
+}
+
+void GlobalArray::acc(std::int64_t i0, std::int64_t i1, std::int64_t j0,
+                      std::int64_t j1, const double* buf, std::int64_t ld,
+                      double alpha) {
+  SCIOTO_REQUIRE(0 <= j0 && j0 <= j1 && j1 <= cols_ && ld >= j1 - j0,
+                 "bad column range/ld for acc on " << name_);
+  for_each_owner_span(i0, i1, [&](Rank owner, std::int64_t lo,
+                                  std::int64_t hi) {
+    rt_.rma_charge_span(owner, static_cast<std::size_t>(hi - lo) *
+                                   static_cast<std::size_t>(j1 - j0) *
+                                   sizeof(double));
+    rt_.backend().critical([&] {
+      for (std::int64_t i = lo; i < hi; ++i) {
+        std::size_t off = (static_cast<std::size_t>(i - row_lo(owner)) *
+                               static_cast<std::size_t>(cols_) +
+                           static_cast<std::size_t>(j0)) *
+                          sizeof(double);
+        double* dst =
+            reinterpret_cast<double*>(rt_.seg_ptr(seg_, owner) + off);
+        const double* src = buf + (i - i0) * ld;
+        for (std::int64_t j = 0; j < j1 - j0; ++j) {
+          dst[j] += alpha * src[j];
+        }
+      }
+    });
+  });
+}
+
+double* GlobalArray::local_panel() {
+  return reinterpret_cast<double*>(rt_.seg_ptr(seg_, rt_.me()));
+}
+
+double GlobalArray::at(std::int64_t i, std::int64_t j) {
+  double v = 0;
+  get(i, i + 1, j, j + 1, &v, 1);
+  return v;
+}
+
+void GlobalArray::fill(double v) {
+  rt_.barrier();
+  double* p = local_panel();
+  std::int64_t n = (row_hi(rt_.me()) - row_lo(rt_.me())) * cols_;
+  std::fill(p, p + n, v);
+  rt_.barrier();
+}
+
+void GlobalArray::sync() { rt_.barrier(); }
+
+double GlobalArray::sum_all() {
+  double local = 0;
+  const double* p = local_panel();
+  std::int64_t n = (row_hi(rt_.me()) - row_lo(rt_.me())) * cols_;
+  for (std::int64_t i = 0; i < n; ++i) {
+    local += p[i];
+  }
+  return rt_.allreduce_sum(local);
+}
+
+double GlobalArray::norm2() {
+  double local = 0;
+  const double* p = local_panel();
+  std::int64_t n = (row_hi(rt_.me()) - row_lo(rt_.me())) * cols_;
+  for (std::int64_t i = 0; i < n; ++i) {
+    local += p[i] * p[i];
+  }
+  return rt_.allreduce_sum(local);
+}
+
+void GlobalArray::scale(double alpha) {
+  rt_.barrier();
+  double* p = local_panel();
+  std::int64_t n = (row_hi(rt_.me()) - row_lo(rt_.me())) * cols_;
+  for (std::int64_t i = 0; i < n; ++i) {
+    p[i] *= alpha;
+  }
+  rt_.barrier();
+}
+
+namespace {
+void require_conformable(const GlobalArray& a, const GlobalArray& b) {
+  SCIOTO_REQUIRE(a.rows() == b.rows() && a.cols() == b.cols(),
+                 "arrays " << a.name() << " and " << b.name()
+                           << " are not conformable");
+}
+}  // namespace
+
+void GlobalArray::add(const GlobalArray& x, double alpha) {
+  require_conformable(*this, x);
+  SCIOTO_REQUIRE(row_lo(rt_.me()) == x.row_lo(rt_.me()) &&
+                     row_hi(rt_.me()) == x.row_hi(rt_.me()),
+                 "add requires matching row distributions");
+  rt_.barrier();
+  double* dst = local_panel();
+  const double* src = const_cast<GlobalArray&>(x).local_panel();
+  std::int64_t n = (row_hi(rt_.me()) - row_lo(rt_.me())) * cols_;
+  for (std::int64_t i = 0; i < n; ++i) {
+    dst[i] += alpha * src[i];
+  }
+  rt_.barrier();
+}
+
+void GlobalArray::copy_from(const GlobalArray& x) {
+  require_conformable(*this, x);
+  SCIOTO_REQUIRE(row_lo(rt_.me()) == x.row_lo(rt_.me()) &&
+                     row_hi(rt_.me()) == x.row_hi(rt_.me()),
+                 "copy_from requires matching row distributions");
+  rt_.barrier();
+  std::int64_t n = (row_hi(rt_.me()) - row_lo(rt_.me())) * cols_;
+  std::memcpy(local_panel(), const_cast<GlobalArray&>(x).local_panel(),
+              static_cast<std::size_t>(n) * sizeof(double));
+  rt_.barrier();
+}
+
+double GlobalArray::dot(const GlobalArray& x) {
+  require_conformable(*this, x);
+  SCIOTO_REQUIRE(row_lo(rt_.me()) == x.row_lo(rt_.me()) &&
+                     row_hi(rt_.me()) == x.row_hi(rt_.me()),
+                 "dot requires matching row distributions");
+  double local = 0;
+  const double* a = local_panel();
+  const double* b = const_cast<GlobalArray&>(x).local_panel();
+  std::int64_t n = (row_hi(rt_.me()) - row_lo(rt_.me())) * cols_;
+  for (std::int64_t i = 0; i < n; ++i) {
+    local += a[i] * b[i];
+  }
+  return rt_.allreduce_sum(local);
+}
+
+double GlobalArray::max_abs() {
+  double local = 0;
+  const double* p = local_panel();
+  std::int64_t n = (row_hi(rt_.me()) - row_lo(rt_.me())) * cols_;
+  for (std::int64_t i = 0; i < n; ++i) {
+    local = std::max(local, std::abs(p[i]));
+  }
+  return rt_.allreduce_max(local);
+}
+
+void GlobalArray::transpose_to(GlobalArray& out) {
+  SCIOTO_REQUIRE(out.rows() == cols_ && out.cols() == rows_,
+                 "transpose target must be " << cols_ << "x" << rows_);
+  sync();
+  // Output rows [lo, hi) are source columns [lo, hi): one strided get of
+  // the full column band, transposed locally.
+  const std::int64_t lo = out.row_lo(rt_.me());
+  const std::int64_t hi = out.row_hi(rt_.me());
+  if (hi > lo) {
+    std::vector<double> band(static_cast<std::size_t>(rows_) *
+                             static_cast<std::size_t>(hi - lo));
+    get(0, rows_, lo, hi, band.data(), hi - lo);
+    double* panel = out.local_panel();
+    for (std::int64_t c = lo; c < hi; ++c) {
+      for (std::int64_t r = 0; r < rows_; ++r) {
+        panel[(c - lo) * rows_ + r] =
+            band[static_cast<std::size_t>(r * (hi - lo) + (c - lo))];
+      }
+    }
+  }
+  out.sync();
+}
+
+}  // namespace scioto::ga

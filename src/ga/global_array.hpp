@@ -1,0 +1,117 @@
+// A Global Arrays (GA) toolkit subset: dense 2-D distributed arrays of
+// doubles over the PGAS runtime.
+//
+// This implements the slice of GA the paper's applications use: collective
+// creation, a row-panel block distribution with locality queries, one-sided
+// get/put of rectangular patches, atomic accumulate (GA_Acc), fill, and
+// sync. Patches may span multiple owners; the implementation splits them
+// into per-owner one-sided transfers exactly as GA does.
+//
+// Layout: rank r owns the contiguous row panel [row_lo(r), row_hi(r)), each
+// panel stored row-major with leading dimension = cols.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pgas/runtime.hpp"
+
+namespace scioto::ga {
+
+class GlobalArray {
+ public:
+  /// Collective. Creates a rows x cols array of doubles, zero-initialized,
+  /// distributed in near-equal row panels across all ranks.
+  GlobalArray(pgas::Runtime& rt, std::int64_t rows, std::int64_t cols,
+              std::string name = "ga");
+
+  /// Collective. Same, with an explicit row partition: rank r owns rows
+  /// [row_split[r], row_split[r+1]). GA supports irregular distributions
+  /// so applications can align panels with their block structure; SCF and
+  /// TCE rely on this so a shell/tensor block lives on exactly one rank.
+  GlobalArray(pgas::Runtime& rt, std::int64_t rows, std::int64_t cols,
+              std::vector<std::int64_t> row_split, std::string name = "ga");
+
+  /// Collective. Releases the shared memory.
+  void destroy();
+
+  std::int64_t rows() const { return rows_; }
+  std::int64_t cols() const { return cols_; }
+  const std::string& name() const { return name_; }
+
+  // ---- Distribution queries ----
+  /// First row owned by rank r.
+  std::int64_t row_lo(Rank r) const;
+  /// One past the last row owned by rank r.
+  std::int64_t row_hi(Rank r) const;
+  /// Owner of a given row.
+  Rank owner_of_row(std::int64_t row) const;
+  /// Owner of the first row of the patch (the paper's get_owner idiom for
+  /// placing tasks near their output data).
+  Rank owner_of_patch(std::int64_t i0, std::int64_t j0) const;
+
+  // ---- One-sided patch operations ----
+  /// Copies the patch [i0,i1) x [j0,j1) into buf (row-major, leading
+  /// dimension ld >= j1-j0).
+  void get(std::int64_t i0, std::int64_t i1, std::int64_t j0, std::int64_t j1,
+           double* buf, std::int64_t ld);
+  /// Writes buf into the patch.
+  void put(std::int64_t i0, std::int64_t i1, std::int64_t j0, std::int64_t j1,
+           const double* buf, std::int64_t ld);
+  /// Atomically accumulates: patch += alpha * buf. Atomic w.r.t. other acc
+  /// calls (GA_Acc semantics).
+  void acc(std::int64_t i0, std::int64_t i1, std::int64_t j0, std::int64_t j1,
+           const double* buf, std::int64_t ld, double alpha);
+
+  /// Direct pointer to this rank's local panel (row-major, ld = cols).
+  double* local_panel();
+  /// Convenience: value at (i, j) via a 1-element get.
+  double at(std::int64_t i, std::int64_t j);
+
+  // ---- Collectives ----
+  /// Collective: sets every element to v.
+  void fill(double v);
+  /// Collective: barrier + completion fence (GA_Sync).
+  void sync();
+  /// Collective: sum of all elements.
+  double sum_all();
+  /// Collective: Frobenius norm squared.
+  double norm2();
+  /// Collective: every element *= alpha (GA_Scale).
+  void scale(double alpha);
+  /// Collective: this += alpha * x, elementwise. x must have the same
+  /// shape and row distribution (GA_Add with matching distributions).
+  void add(const GlobalArray& x, double alpha = 1.0);
+  /// Collective: this = x, elementwise (GA_Copy; same shape/distribution).
+  void copy_from(const GlobalArray& x);
+  /// Collective: sum of elementwise products with x (GA_Ddot).
+  double dot(const GlobalArray& x);
+  /// Collective: largest |element|.
+  double max_abs();
+  /// Collective: out = this^T. `out` must be cols() x rows(); each rank
+  /// fetches the source columns matching its output panel in one strided
+  /// get (GA_Transpose).
+  void transpose_to(GlobalArray& out);
+
+ private:
+  template <class Fn>
+  void for_each_owner_span(std::int64_t i0, std::int64_t i1, Fn&& fn);
+
+  pgas::Runtime& rt_;
+  std::int64_t rows_ = 0;
+  std::int64_t cols_ = 0;
+  std::string name_;
+  std::vector<std::int64_t> split_;  // nranks+1 row boundaries
+  pgas::SegId seg_ = -1;
+  bool live_ = false;
+};
+
+/// Builds a row partition for `nranks` ranks aligned to the boundaries of
+/// `offsets` (a prefix array: block b covers rows [offsets[b],
+/// offsets[b+1])), keeping per-rank row counts as even as the alignment
+/// allows. Suitable for the GlobalArray row_split constructor.
+std::vector<std::int64_t> block_aligned_split(
+    const std::vector<std::int64_t>& offsets, int nranks);
+
+}  // namespace scioto::ga

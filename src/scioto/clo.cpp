@@ -1,0 +1,3 @@
+#include "scioto/clo.hpp"
+
+// Header-only implementation; this TU anchors the component in the build.

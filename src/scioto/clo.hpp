@@ -1,0 +1,54 @@
+// Common Local Objects (paper §2.3).
+//
+// A common local object is a per-process instance of the same logical
+// object, collectively registered so a migrating task can look up the
+// instance local to wherever it executes. This is how UTS accumulates its
+// tree statistics, and the only output mechanism available when
+// interoperating with plain MPI (no global address space).
+//
+// Like all Scioto objects, a CloRegistry is constructed per rank (ARMCI
+// style): every rank holds its own registry object, and the collective
+// registration discipline keeps handles consistent across ranks.
+#pragma once
+
+#include <vector>
+
+#include "base/error.hpp"
+#include "pgas/runtime.hpp"
+
+namespace scioto {
+
+using CloHandle = std::int32_t;
+
+class CloRegistry {
+ public:
+  explicit CloRegistry(pgas::Runtime& rt) : rt_(rt) {}
+
+  /// Collective: every rank passes a pointer to its local instance; all
+  /// ranks receive the same handle (registration order must match).
+  CloHandle register_object(void* local_instance) {
+    rt_.barrier();
+    slots_.push_back(local_instance);
+    return static_cast<CloHandle>(slots_.size() - 1);
+  }
+
+  /// The instance registered by the *current* rank for handle h; valid on
+  /// any rank a task migrates to.
+  void* lookup(CloHandle h) const {
+    SCIOTO_REQUIRE(
+        h >= 0 && static_cast<std::size_t>(h) < slots_.size(),
+        "invalid CLO handle " << h);
+    return slots_[static_cast<std::size_t>(h)];
+  }
+
+  template <class T>
+  T& lookup_as(CloHandle h) const {
+    return *static_cast<T*>(lookup(h));
+  }
+
+ private:
+  pgas::Runtime& rt_;
+  std::vector<void*> slots_;
+};
+
+}  // namespace scioto

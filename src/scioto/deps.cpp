@@ -1,0 +1,123 @@
+#include "scioto/deps.hpp"
+
+#include <algorithm>
+
+namespace scioto {
+
+TaskDag::TaskDag(TaskCollection& tc) : tc_(tc) {
+  dispatch_handle_ =
+      tc_.register_callback([this](TaskContext& ctx) { run_node(ctx); });
+  slots_per_rank_.assign(static_cast<std::size_t>(tc_.runtime().nprocs()), 0);
+}
+
+TaskDag::NodeId TaskDag::add_node(Rank home, std::function<void()> fn) {
+  SCIOTO_REQUIRE(!executed_, "TaskDag::add_node after execute()");
+  SCIOTO_REQUIRE(home >= 0 && home < tc_.runtime().nprocs(),
+                 "invalid home rank " << home);
+  Node n;
+  n.home = home;
+  n.fn = std::move(fn);
+  n.home_slot = slots_per_rank_[static_cast<std::size_t>(home)]++;
+  nodes_.push_back(std::move(n));
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+void TaskDag::add_edge(NodeId pred, NodeId succ) {
+  SCIOTO_REQUIRE(!executed_, "TaskDag::add_edge after execute()");
+  SCIOTO_REQUIRE(pred >= 0 && static_cast<std::size_t>(pred) < nodes_.size() &&
+                     succ >= 0 &&
+                     static_cast<std::size_t>(succ) < nodes_.size(),
+                 "add_edge with invalid node id");
+  SCIOTO_REQUIRE(pred != succ, "self-dependency on node " << pred);
+  nodes_[static_cast<std::size_t>(pred)].successors.push_back(succ);
+  nodes_[static_cast<std::size_t>(succ)].deps++;
+}
+
+std::size_t TaskDag::counter_offset(NodeId id) const {
+  return static_cast<std::size_t>(nodes_[static_cast<std::size_t>(id)]
+                                      .home_slot) *
+         sizeof(std::int64_t);
+}
+
+void TaskDag::run_node(TaskContext& ctx) {
+  NodeId id = ctx.body_as<DagBody>().node;
+  Node& node = nodes_[static_cast<std::size_t>(id)];
+  node.fn();
+  // Completion: release successors via one-sided decrements.
+  pgas::Runtime& rt = tc_.runtime();
+  for (NodeId s : node.successors) {
+    const Node& succ = nodes_[static_cast<std::size_t>(s)];
+    std::int64_t prev =
+        rt.fetch_add(counters_seg_, succ.home, counter_offset(s), -1);
+    SCIOTO_CHECK_MSG(prev >= 1, "dependency counter underflow on node " << s);
+    if (prev == 1) {
+      Task t = tc_.task_create(sizeof(DagBody), dispatch_handle_);
+      t.body_as<DagBody>().node = s;
+      tc_.add(succ.home, kAffinityHigh, t);
+    }
+  }
+}
+
+void TaskDag::execute() {
+  SCIOTO_REQUIRE(!executed_, "TaskDag::execute called twice");
+  executed_ = true;
+  pgas::Runtime& rt = tc_.runtime();
+
+  // Consistency check: the replicated build must agree across ranks.
+  auto total = rt.allreduce_sum<std::int64_t>(
+      static_cast<std::int64_t>(nodes_.size()));
+  SCIOTO_REQUIRE(total == static_cast<std::int64_t>(nodes_.size()) *
+                              rt.nprocs(),
+                 "TaskDag build diverged across ranks");
+
+  // Counters live on each node's home rank.
+  std::int64_t max_slots = 0;
+  for (std::int64_t s : slots_per_rank_) {
+    max_slots = std::max(max_slots, s);
+  }
+  counters_seg_ = rt.seg_alloc(static_cast<std::size_t>(
+      std::max<std::int64_t>(max_slots, 1) *
+      static_cast<std::int64_t>(sizeof(std::int64_t))));
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const Node& n = nodes_[i];
+    if (n.home == rt.me()) {
+      auto* p = reinterpret_cast<std::int64_t*>(
+          rt.seg_ptr(counters_seg_, rt.me()) +
+          counter_offset(static_cast<NodeId>(i)));
+      *p = n.deps;
+    }
+  }
+  rt.barrier();
+
+  // Seed roots at their home ranks.
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const Node& n = nodes_[i];
+    if (n.home == rt.me() && n.deps == 0) {
+      Task t = tc_.task_create(sizeof(DagBody), dispatch_handle_);
+      t.body_as<DagBody>().node = static_cast<NodeId>(i);
+      tc_.add_local(t);
+    }
+  }
+
+  tc_.process();
+
+  // A cycle leaves nodes with positive counters: detect and report.
+  std::int64_t stuck_local = 0;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const Node& n = nodes_[i];
+    if (n.home == rt.me()) {
+      auto* p = reinterpret_cast<std::int64_t*>(
+          rt.seg_ptr(counters_seg_, rt.me()) +
+          counter_offset(static_cast<NodeId>(i)));
+      if (*p > 0) {
+        ++stuck_local;
+      }
+    }
+  }
+  std::int64_t stuck = rt.allreduce_sum(stuck_local);
+  rt.seg_free(counters_seg_);
+  SCIOTO_REQUIRE(stuck == 0, "TaskDag contains a cycle: "
+                                 << stuck << " node(s) never became ready");
+}
+
+}  // namespace scioto

@@ -1,0 +1,70 @@
+// Initial task-placement strategies (paper §8 lists "initial placement
+// strategies" among planned enhancements).
+//
+// A placement maps a task index to (rank, affinity) at seeding time.
+// Dynamic load balancing then corrects whatever the initial placement got
+// wrong, but a good initial placement -- owner-compute for data-bearing
+// tasks, blocked or round-robin for uniform ones -- reduces how much
+// stealing is needed in the first place. The SCF/TCE drivers use the
+// owner-compute idiom directly; this header packages the common
+// strategies for applications with less structure.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "base/rng.hpp"
+#include "scioto/task.hpp"
+
+namespace scioto {
+
+struct Placement {
+  Rank rank = 0;
+  int affinity = kAffinityHigh;
+};
+
+/// Strategy: index in [0, total) -> placement over `nranks` ranks.
+using PlacementFn =
+    std::function<Placement(std::int64_t index, std::int64_t total,
+                            int nranks)>;
+
+/// Task i goes to rank i mod p: even counts, no locality information.
+inline PlacementFn round_robin_placement() {
+  return [](std::int64_t i, std::int64_t, int nranks) {
+    return Placement{static_cast<Rank>(i % nranks), kAffinityHigh};
+  };
+}
+
+/// Contiguous slabs: task i goes to rank floor(i * p / total). Preserves
+/// index locality (neighbouring tasks share a rank).
+inline PlacementFn blocked_placement() {
+  return [](std::int64_t i, std::int64_t total, int nranks) {
+    Rank r = total > 0 ? static_cast<Rank>(i * nranks / total) : 0;
+    return Placement{r, kAffinityHigh};
+  };
+}
+
+/// Uniform random placement (deterministic in the seed); the classic
+/// baseline that relies entirely on stealing for locality.
+inline PlacementFn random_placement(std::uint64_t seed) {
+  // The generator is shared across calls via a mutable capture; callers
+  // seed deterministically so runs stay reproducible.
+  return [rng = Xoshiro256(seed)](std::int64_t, std::int64_t,
+                                  int nranks) mutable {
+    return Placement{
+        static_cast<Rank>(rng.next_below(static_cast<std::uint64_t>(nranks))),
+        kAffinityLow};
+  };
+}
+
+/// Owner-compute: the caller supplies the data owner per task; tasks are
+/// seeded there with high affinity (the paper's get_owner idiom).
+inline PlacementFn owner_placement(
+    std::function<Rank(std::int64_t index)> owner_of) {
+  return [owner_of = std::move(owner_of)](std::int64_t i, std::int64_t,
+                                          int) {
+    return Placement{owner_of(i), kAffinityHigh};
+  };
+}
+
+}  // namespace scioto

@@ -1,0 +1,427 @@
+#include "scioto/queue.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "scioto/task.hpp"
+
+namespace scioto {
+
+const char* queue_mode_name(QueueMode mode) {
+  switch (mode) {
+    case QueueMode::Split:
+      return "split";
+    case QueueMode::NoSplit:
+      return "no-split";
+    case QueueMode::WaitFreeSteal:
+      return "wait-free";
+  }
+  return "?";
+}
+
+SplitQueue::SplitQueue(pgas::Runtime& rt, Config cfg)
+    : rt_(rt), cfg_(cfg) {
+  SCIOTO_REQUIRE(cfg_.slot_bytes >= sizeof(std::uint64_t),
+                 "slot_bytes too small: " << cfg_.slot_bytes);
+  SCIOTO_REQUIRE(cfg_.capacity >= 2, "capacity too small: " << cfg_.capacity);
+  SCIOTO_REQUIRE(cfg_.chunk >= 1, "chunk must be >= 1, got " << cfg_.chunk);
+  cfg_.slot_bytes = align_up(cfg_.slot_bytes, 8);  // word-wise wf copies
+  internal_cap_ = cfg_.capacity + static_cast<std::uint64_t>(rt.nprocs()) +
+                  2 * static_cast<std::uint64_t>(cfg_.chunk);
+  seg_ = rt_.seg_alloc(sizeof(Ctl) + internal_cap_ * cfg_.slot_bytes);
+  if (rt_.me() == 0) {
+    // Placement-initialize every rank's control block exactly once.
+    for (Rank r = 0; r < rt_.nprocs(); ++r) {
+      new (rt_.seg_ptr(seg_, r)) Ctl();
+    }
+  }
+  locks_ = rt_.lockset_create();
+  counters_.resize(static_cast<std::size_t>(rt_.nprocs()));
+  reacquire_bufs_.resize(static_cast<std::size_t>(rt_.nprocs()));
+  for (auto& buf : reacquire_bufs_) {
+    buf.resize(static_cast<std::size_t>(cfg_.chunk) * cfg_.slot_bytes);
+  }
+  rt_.barrier();
+}
+
+void SplitQueue::destroy() { rt_.seg_free(seg_); }
+
+SplitQueue::Ctl& SplitQueue::ctl(Rank r) {
+  return *reinterpret_cast<Ctl*>(rt_.seg_ptr(seg_, r));
+}
+
+std::byte* SplitQueue::slot(Rank r, std::uint64_t index) {
+  return rt_.seg_ptr(seg_, r) + sizeof(Ctl) +
+         (index % internal_cap_) * cfg_.slot_bytes;
+}
+
+std::uint64_t SplitQueue::steal_boundary(const Ctl& c) const {
+  return cfg_.mode == QueueMode::NoSplit
+             ? c.priv_tail.load(std::memory_order_acquire)
+             : c.split.load(std::memory_order_acquire);
+}
+
+std::uint64_t SplitQueue::private_size() const {
+  const Ctl& c = const_cast<SplitQueue*>(this)->ctl(rt_.me());
+  return c.priv_tail.load(std::memory_order_relaxed) -
+         c.split.load(std::memory_order_relaxed);
+}
+
+std::uint64_t SplitQueue::shared_size() const {
+  const Ctl& c = const_cast<SplitQueue*>(this)->ctl(rt_.me());
+  return c.split.load(std::memory_order_relaxed) -
+         c.steal_head.load(std::memory_order_relaxed);
+}
+
+bool SplitQueue::push_local(const std::byte* task, int affinity) {
+  Rank me = rt_.me();
+  Ctl& c = ctl(me);
+  counters().pushes++;
+
+  if (cfg_.mode == QueueMode::NoSplit) {
+    // No-split ablation: single fully locked region; everything enters at
+    // the private end (affinity ordering needs the split design).
+    rt_.lock(locks_, me);
+    std::uint64_t pt = c.priv_tail.load(std::memory_order_relaxed);
+    std::uint64_t sh = c.steal_head.load(std::memory_order_relaxed);
+    if (pt - sh >= cfg_.capacity) {
+      rt_.unlock(locks_, me);
+      return false;
+    }
+    std::memcpy(slot(me, pt), task, cfg_.slot_bytes);
+    c.priv_tail.store(pt + 1, std::memory_order_release);
+    c.split.store(pt + 1, std::memory_order_release);
+    rt_.unlock(locks_, me);
+    rt_.charge(rt_.machine().local_insert);
+    return true;
+  }
+
+  if (affinity >= kAffinityHigh) {
+    // Lock-free private push: thieves never touch [split, priv_tail).
+    std::uint64_t pt = c.priv_tail.load(std::memory_order_relaxed);
+    std::uint64_t sh = c.steal_head.load(std::memory_order_acquire);
+    if (pt - sh >= cfg_.capacity) {
+      return false;
+    }
+    std::memcpy(slot(me, pt), task, cfg_.slot_bytes);
+    c.priv_tail.store(pt + 1, std::memory_order_release);
+    rt_.charge(rt_.machine().local_insert);
+    return true;
+  }
+
+  // Low affinity: enter at the steal end so this task migrates first.
+  // Even the owner uses the remote-add publication protocol so the slot
+  // is never visible half-written (wait-free thieves validate only
+  // against steal_head).
+  if (cfg_.mode == QueueMode::WaitFreeSteal) {
+    bool ok = add_remote_waitfree(me, task);
+    if (ok) {
+      rt_.charge(rt_.machine().local_insert);
+    }
+    return ok;
+  }
+  rt_.lock(locks_, me);
+  std::uint64_t sh = c.steal_head.load(std::memory_order_relaxed);
+  std::uint64_t pt = c.priv_tail.load(std::memory_order_relaxed);
+  if (pt - (sh - 1) >= cfg_.capacity) {
+    rt_.unlock(locks_, me);
+    return false;
+  }
+  std::memcpy(slot(me, sh - 1), task, cfg_.slot_bytes);
+  c.steal_head.store(sh - 1, std::memory_order_release);
+  rt_.unlock(locks_, me);
+  rt_.charge(rt_.machine().local_insert);
+  return true;
+}
+
+bool SplitQueue::pop_local(std::byte* out) {
+  Rank me = rt_.me();
+  Ctl& c = ctl(me);
+
+  if (cfg_.mode == QueueMode::NoSplit) {
+    rt_.lock(locks_, me);
+    std::uint64_t pt = c.priv_tail.load(std::memory_order_relaxed);
+    std::uint64_t sh = c.steal_head.load(std::memory_order_relaxed);
+    if (pt == sh) {
+      rt_.unlock(locks_, me);
+      return false;
+    }
+    std::memcpy(out, slot(me, pt - 1), cfg_.slot_bytes);
+    c.priv_tail.store(pt - 1, std::memory_order_release);
+    c.split.store(pt - 1, std::memory_order_release);
+    rt_.unlock(locks_, me);
+    rt_.charge(rt_.machine().local_get);
+    counters().pops++;
+    return true;
+  }
+
+  std::uint64_t pt = c.priv_tail.load(std::memory_order_relaxed);
+  std::uint64_t sp = c.split.load(std::memory_order_relaxed);
+  if (pt == sp) {
+    return false;  // private portion empty; caller should reacquire()
+  }
+  std::memcpy(out, slot(me, pt - 1), cfg_.slot_bytes);
+  c.priv_tail.store(pt - 1, std::memory_order_release);
+  rt_.charge(rt_.machine().local_get);
+  counters().pops++;
+  return true;
+}
+
+std::uint64_t SplitQueue::reacquire() {
+  Rank me = rt_.me();
+  Ctl& c = ctl(me);
+  switch (cfg_.mode) {
+    case QueueMode::NoSplit:
+      return 0;  // no distinct portions to move between
+
+    case QueueMode::WaitFreeSteal: {
+      // `split` never moves down in wait-free mode: reclaim parked work by
+      // self-stealing through the same CAS path thieves use, then re-push
+      // privately.
+      if (shared_size() == 0) {
+        return 0;
+      }
+      std::byte* buf = reacquire_bufs_[static_cast<std::size_t>(me)].data();
+      int got = steal_from_waitfree(me, buf);
+      for (int i = 0; i < got; ++i) {
+        bool ok = push_local(buf + static_cast<std::size_t>(i) *
+                                       cfg_.slot_bytes,
+                             kAffinityHigh);
+        SCIOTO_CHECK_MSG(ok, "overflow re-pushing self-stolen tasks");
+      }
+      if (got > 0) {
+        counters().reacquires++;
+      }
+      return static_cast<std::uint64_t>(got);
+    }
+
+    case QueueMode::Split: {
+      if (shared_size() == 0) {
+        return 0;
+      }
+      // Lowering `split` races in-flight steals, so it needs the lock.
+      rt_.lock(locks_, me);
+      std::uint64_t sh = c.steal_head.load(std::memory_order_relaxed);
+      std::uint64_t sp = c.split.load(std::memory_order_relaxed);
+      std::uint64_t avail = sp - sh;
+      if (avail == 0) {
+        rt_.unlock(locks_, me);
+        return 0;
+      }
+      std::uint64_t take = avail - avail / 2;  // ceil(avail / 2)
+      c.split.store(sp - take, std::memory_order_release);
+      rt_.unlock(locks_, me);
+      counters().reacquires++;
+      return take;
+    }
+  }
+  return 0;
+}
+
+std::uint64_t SplitQueue::release_maybe() {
+  if (cfg_.mode == QueueMode::NoSplit) {
+    return 0;  // everything is always exposed in the locked variant
+  }
+  Ctl& c = ctl(rt_.me());
+  std::uint64_t priv = private_size();
+  if (priv <= cfg_.release_threshold ||
+      shared_size() >= static_cast<std::uint64_t>(cfg_.chunk)) {
+    return 0;
+  }
+  // Raising `split` only grows the shared portion; thieves reading the old
+  // value just see fewer tasks, so no lock is needed (paper §5).
+  std::uint64_t give = priv / 2;
+  std::uint64_t sp = c.split.load(std::memory_order_relaxed);
+  c.split.store(sp + give, std::memory_order_release);
+  counters().releases++;
+  return give;
+}
+
+std::uint64_t SplitQueue::peek_shared(Rank victim) {
+  Ctl& c = ctl(victim);
+  if (victim != rt_.me()) {
+    rt_.rma_charge(victim, 2 * sizeof(std::uint64_t));
+  }
+  std::uint64_t sh = c.steal_head.load(std::memory_order_acquire);
+  std::uint64_t bd = steal_boundary(c);
+  return bd > sh ? bd - sh : 0;
+}
+
+void SplitQueue::copy_out_span(Rank victim, std::uint64_t first,
+                               std::uint64_t count, std::byte* out) {
+  // Contiguous modulo wrap-around: at most two memcpys, one RMA charge.
+  rt_.rma_charge(victim, count * cfg_.slot_bytes);
+  std::uint64_t first_mod = first % internal_cap_;
+  std::uint64_t until_wrap = internal_cap_ - first_mod;
+  std::uint64_t n1 = std::min(count, until_wrap);
+  std::memcpy(out, slot(victim, first), n1 * cfg_.slot_bytes);
+  if (n1 < count) {
+    std::memcpy(out + n1 * cfg_.slot_bytes, slot(victim, first + n1),
+                (count - n1) * cfg_.slot_bytes);
+  }
+}
+
+void SplitQueue::copy_slot_relaxed(Rank victim, std::uint64_t index,
+                                   std::byte* out) {
+  const auto* src =
+      reinterpret_cast<const std::uint64_t*>(slot(victim, index));
+  auto* dst = reinterpret_cast<std::uint64_t*>(out);
+  const std::size_t words = cfg_.slot_bytes / sizeof(std::uint64_t);
+  for (std::size_t w = 0; w < words; ++w) {
+    dst[w] = std::atomic_ref<const std::uint64_t>(src[w])
+                 .load(std::memory_order_relaxed);
+  }
+}
+
+int SplitQueue::steal_from_locked(Rank victim, std::byte* out) {
+  // The lock word is co-located with the queue's control block, so the
+  // indices arrive with the lock-acquisition response -- no separate
+  // round trip (this is what keeps the paper's remote ops near 5 one-way
+  // latencies).
+  rt_.lock(locks_, victim);
+  Ctl& c = ctl(victim);
+  std::uint64_t sh = c.steal_head.load(std::memory_order_acquire);
+  std::uint64_t bd = steal_boundary(c);
+  std::uint64_t avail = bd > sh ? bd - sh : 0;
+  std::uint64_t n = std::min<std::uint64_t>(
+      avail, static_cast<std::uint64_t>(cfg_.chunk));
+  if (n == 0) {
+    rt_.unlock(locks_, victim);
+    return 0;
+  }
+  copy_out_span(victim, sh, n, out);
+  c.steal_head.store(sh + n, std::memory_order_release);
+  rt_.unlock(locks_, victim);
+  return static_cast<int>(n);
+}
+
+int SplitQueue::steal_from_waitfree(Rank victim, std::byte* out) {
+  Ctl& c = ctl(victim);
+  const bool remote = victim != rt_.me();
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    if (remote) {
+      rt_.rma_charge(victim, 2 * sizeof(std::uint64_t));  // fetch indices
+    }
+    std::uint64_t sh = c.steal_head.load(std::memory_order_acquire);
+    std::uint64_t bd = c.split.load(std::memory_order_acquire);
+    std::uint64_t avail = bd > sh ? bd - sh : 0;
+    std::uint64_t n = std::min<std::uint64_t>(
+        avail, static_cast<std::uint64_t>(cfg_.chunk));
+    if (n == 0) {
+      return 0;
+    }
+    // Speculative copy: may race a concurrent overwrite, but a lost CAS
+    // below discards the data, so torn reads never escape.
+    if (remote) {
+      rt_.rma_charge(victim, n * cfg_.slot_bytes);
+    }
+    for (std::uint64_t i = 0; i < n; ++i) {
+      copy_slot_relaxed(victim, sh + i,
+                        out + static_cast<std::size_t>(i) * cfg_.slot_bytes);
+    }
+    // Publish: one remote CAS claims the whole chunk.
+    if (remote) {
+      rt_.backend().rmw_charge(victim);
+    }
+    std::uint64_t expected = sh;
+    if (c.steal_head.compare_exchange_strong(expected, sh + n,
+                                             std::memory_order_acq_rel)) {
+      return static_cast<int>(n);
+    }
+    counters().cas_retries++;
+  }
+  return 0;  // heavy contention: give up, caller picks another victim
+}
+
+int SplitQueue::steal_from(Rank victim, std::byte* out) {
+  counters().steal_attempts++;
+  int n = cfg_.mode == QueueMode::WaitFreeSteal
+              ? steal_from_waitfree(victim, out)
+              : steal_from_locked(victim, out);
+  if (n > 0) {
+    counters().steals_in++;
+    counters().tasks_stolen_in += static_cast<std::uint64_t>(n);
+  }
+  return n;
+}
+
+bool SplitQueue::add_remote_waitfree(Rank target, const std::byte* task) {
+  // Adders serialize among themselves on the target's lock (adds are
+  // rare), but must publish with a CAS because lock-free thieves do not
+  // honour the lock. Write the slot *before* publishing so a thief can
+  // never observe it half-written under a successful CAS.
+  Ctl& c = ctl(target);
+  const bool remote = target != rt_.me();
+  rt_.lock(locks_, target);
+  bool ok = false;
+  for (;;) {
+    std::uint64_t sh = c.steal_head.load(std::memory_order_acquire);
+    std::uint64_t pt = c.priv_tail.load(std::memory_order_acquire);
+    if (pt - (sh - 1) >= cfg_.capacity) {
+      break;
+    }
+    if (remote) {
+      rt_.rma_charge(target, cfg_.slot_bytes);
+    }
+    std::memcpy(slot(target, sh - 1), task, cfg_.slot_bytes);
+    if (remote) {
+      rt_.backend().rmw_charge(target);
+    }
+    std::uint64_t expected = sh;
+    if (c.steal_head.compare_exchange_strong(expected, sh - 1,
+                                             std::memory_order_acq_rel)) {
+      ok = true;
+      break;
+    }
+    // A thief advanced steal_head meanwhile; rewrite at the new position.
+    counters().cas_retries++;
+  }
+  rt_.unlock(locks_, target);
+  return ok;
+}
+
+bool SplitQueue::add_remote(Rank target, const std::byte* task) {
+  SCIOTO_REQUIRE(target != rt_.me(), "add_remote to self; use push_local");
+  bool ok;
+  if (cfg_.mode == QueueMode::WaitFreeSteal) {
+    ok = add_remote_waitfree(target, task);
+  } else {
+    // As in steal_from: the control block rides along with the lock grant.
+    rt_.lock(locks_, target);
+    Ctl& c = ctl(target);
+    std::uint64_t sh = c.steal_head.load(std::memory_order_acquire);
+    std::uint64_t pt = c.priv_tail.load(std::memory_order_acquire);
+    if (pt - (sh - 1) >= cfg_.capacity) {
+      rt_.unlock(locks_, target);
+      return false;
+    }
+    rt_.rma_charge(target, cfg_.slot_bytes);
+    std::memcpy(slot(target, sh - 1), task, cfg_.slot_bytes);
+    c.steal_head.store(sh - 1, std::memory_order_release);
+    if (cfg_.mode == QueueMode::NoSplit) {
+      // Single-region variant keeps the invariant steal_head <= split.
+      std::uint64_t sp = c.split.load(std::memory_order_relaxed);
+      if (sp > sh - 1) {
+        // split tracks priv_tail in NoSplit mode; nothing to fix.
+      }
+    }
+    rt_.unlock(locks_, target);
+    ok = true;
+  }
+  if (ok) {
+    counters().remote_adds++;
+  }
+  return ok;
+}
+
+void SplitQueue::reset_collective() {
+  rt_.barrier();
+  Ctl& c = ctl(rt_.me());
+  c.steal_head.store(kIndexBase, std::memory_order_relaxed);
+  c.split.store(kIndexBase, std::memory_order_relaxed);
+  c.priv_tail.store(kIndexBase, std::memory_order_relaxed);
+  counters() = Counters{};  // per-phase statistics start fresh
+  rt_.barrier();
+}
+
+}  // namespace scioto

@@ -1,0 +1,174 @@
+// The split task queue (paper §5, Figure 2) and its variants.
+//
+// Each rank owns one circular array of fixed-size task slots living in
+// PGAS shared space. Three monotone-ish 64-bit indices partition it:
+//
+//      steal_head              split              priv_tail
+//          |--- shared portion ---|--- private portion ---|
+//        (thieves steal oldest/    (owner-only, lock-free;
+//         lowest-affinity tasks     owner pushes and pops
+//         from this end)            LIFO at this end)
+//
+// * The owner pushes/pops at priv_tail without any lock: thieves never
+//   touch indices >= split.
+// * release(): the owner donates the oldest private tasks to the shared
+//   portion by raising `split` -- a single store, no lock, no copying
+//   (this is the paper's "simply adjusting the queue's split pointer").
+// * Low-affinity adds and remote adds enter at the steal end
+//   (steal_head - 1), so they are the first candidates to migrate --
+//   this is how affinity ordering is realized.
+//
+// Queue modes (QueueMode):
+//
+// * Split (the paper's design): thieves lock the victim's queue, steal up
+//   to `chunk` tasks from [steal_head, split), and advance steal_head.
+//   reacquire() lowers `split` under the lock.
+//
+// * NoSplit (the paper's original implementation, Figure 7's ablation):
+//   one region, every operation -- including the owner's local push/pop --
+//   takes the lock. Figure 7 measures the collapse this causes.
+//
+// * WaitFreeSteal (the paper's §8 future-work item): steals are lock-free.
+//   A thief snapshots (steal_head, split), copies the candidate slots
+//   word-wise, then publishes with a single compare-and-swap on
+//   steal_head; a lost race discards the (possibly torn) copy and
+//   retries, so no thief ever blocks behind another. To keep the steal
+//   path validation-only, `split` is never lowered: the owner reclaims
+//   parked work by *self-stealing* through the same CAS path. Remote adds
+//   still serialize among themselves on the victim's lock (they are rare)
+//   but publish with a CAS so they remain correct against concurrent
+//   lock-free thieves.
+//
+// Cost model: local lock-free ops charge MachineModel::local_insert/get;
+// remote ops charge lock/RMA/RMW costs through the runtime, which under
+// sim also serializes contenders in virtual time.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "pgas/runtime.hpp"
+
+namespace scioto {
+
+enum class QueueMode {
+  Split,          // §5: lock-free private portion + locked shared portion
+  NoSplit,        // original fully locked queue (Figure 7 ablation)
+  WaitFreeSteal,  // §8: CAS-published steals, no thief ever blocks
+};
+
+const char* queue_mode_name(QueueMode mode);
+
+class SplitQueue {
+ public:
+  struct Config {
+    /// Whole-descriptor slot size in bytes (header + max body); rounded
+    /// up to a multiple of 8 internally (the wait-free copy is word-wise).
+    std::size_t slot_bytes = 64;
+    /// Per-rank capacity in tasks (the paper's max_tasks).
+    std::uint64_t capacity = 1 << 16;
+    /// Steal granularity in tasks (the paper's chunk_size).
+    int chunk = 10;
+    QueueMode mode = QueueMode::Split;
+    /// Owner releases work when private > release_threshold tasks and the
+    /// shared portion has fewer than `chunk` tasks.
+    std::uint64_t release_threshold = 2 * 10;
+  };
+
+  struct Counters {
+    std::uint64_t pushes = 0;
+    std::uint64_t pops = 0;
+    std::uint64_t releases = 0;
+    std::uint64_t reacquires = 0;
+    std::uint64_t steals_in = 0;        // successful steals we performed
+    std::uint64_t steal_attempts = 0;   // including empty-handed
+    std::uint64_t tasks_stolen_in = 0;  // tasks obtained by stealing
+    std::uint64_t remote_adds = 0;      // tasks we pushed to other ranks
+    std::uint64_t cas_retries = 0;      // wait-free mode only
+  };
+
+  /// Collective: allocates the queue segment and its lock set.
+  SplitQueue(pgas::Runtime& rt, Config cfg);
+
+  /// Collective: releases shared space.
+  void destroy();
+
+  // ---- Owner-side operations (current rank's queue) ----
+  /// Pushes one descriptor. High affinity enters the private end
+  /// (lock-free), low affinity enters the shared steal end (locked).
+  /// Returns false when the queue is full.
+  bool push_local(const std::byte* task, int affinity);
+  /// Pops the newest private task (LIFO). Returns false if the private
+  /// portion is empty (shared tasks need reacquire()).
+  bool pop_local(std::byte* out);
+  /// Moves up to half of the shared portion back to private (Split mode
+  /// lowers the split under the lock; WaitFreeSteal self-steals through
+  /// the CAS path and re-pushes). Returns the number of tasks reclaimed.
+  std::uint64_t reacquire();
+  /// Donates oldest private tasks to the shared portion when the release
+  /// policy triggers. Returns tasks released.
+  std::uint64_t release_maybe();
+
+  std::uint64_t private_size() const;
+  std::uint64_t shared_size() const;
+  std::uint64_t size() const { return private_size() + shared_size(); }
+  bool empty() const { return size() == 0; }
+
+  // ---- Remote operations ----
+  /// Unlocked peek at a victim's stealable-task count (one 16-byte get).
+  std::uint64_t peek_shared(Rank victim);
+  /// Steals up to cfg.chunk tasks from the victim's shared portion into
+  /// `out` (which must hold chunk * slot_bytes). Returns tasks stolen.
+  int steal_from(Rank victim, std::byte* out);
+  /// Adds one descriptor to `target`'s shared end.
+  /// Returns false if the target queue is full.
+  bool add_remote(Rank target, const std::byte* task);
+
+  /// Collective: empties every queue (tc_reset).
+  void reset_collective();
+
+  const Config& config() const { return cfg_; }
+  std::size_t slot_bytes() const { return cfg_.slot_bytes; }
+  Counters& counters() { return counters_[static_cast<std::size_t>(rt_.me())]; }
+  pgas::Runtime& runtime() { return rt_; }
+
+ private:
+  // All indices start at kIndexBase so the steal end can grow downward
+  // (remote adds decrement steal_head) without underflow.
+  static constexpr std::uint64_t kIndexBase = 1ull << 32;
+
+  struct alignas(64) Ctl {
+    std::atomic<std::uint64_t> steal_head{kIndexBase};
+    std::atomic<std::uint64_t> split{kIndexBase};
+    std::atomic<std::uint64_t> priv_tail{kIndexBase};
+  };
+
+  Ctl& ctl(Rank r);
+  std::byte* slot(Rank r, std::uint64_t index);
+  /// Steal boundary as seen by thieves: split in split-based modes, the
+  /// whole deque in NoSplit.
+  std::uint64_t steal_boundary(const Ctl& c) const;
+  void copy_out_span(Rank victim, std::uint64_t first, std::uint64_t count,
+                     std::byte* out);
+  /// Word-wise relaxed-atomic copy of one slot: safe to race with a
+  /// concurrent overwrite because the caller discards the data when its
+  /// publishing CAS fails.
+  void copy_slot_relaxed(Rank victim, std::uint64_t index, std::byte* out);
+  int steal_from_locked(Rank victim, std::byte* out);
+  int steal_from_waitfree(Rank victim, std::byte* out);
+  bool add_remote_waitfree(Rank target, const std::byte* task);
+
+  pgas::Runtime& rt_;
+  Config cfg_;
+  /// Internal capacity adds headroom so concurrent remote adds (bounded by
+  /// nranks) cannot overflow between an owner's stale capacity check and
+  /// its slot write.
+  std::uint64_t internal_cap_ = 0;
+  pgas::SegId seg_ = -1;
+  pgas::LockSet locks_;
+  std::vector<Counters> counters_;
+  /// Per-rank scratch for wait-free reacquire (self-steal buffer).
+  std::vector<std::vector<std::byte>> reacquire_bufs_;
+};
+
+}  // namespace scioto

@@ -1,0 +1,142 @@
+#include "scioto/scioto_c.h"
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "scioto/task_collection.hpp"
+
+namespace {
+
+using scioto::TaskCollection;
+
+// Per-rank shim state. All ranks of a run bind the same Runtime; each rank
+// owns its per-rank TaskCollection objects (ARMCI style), stored in a table
+// indexed [rank][handle] so handles are identical everywhere.
+struct CapiState {
+  std::mutex m;
+  scioto::pgas::Runtime* rt = nullptr;
+  int bound = 0;
+  std::vector<std::vector<std::unique_ptr<TaskCollection>>> tcs;
+};
+
+CapiState& state() {
+  static CapiState s;
+  return s;
+}
+
+scioto::pgas::Runtime& runtime() {
+  CapiState& s = state();
+  SCIOTO_REQUIRE(s.rt != nullptr,
+                 "scioto C API used without a bound runtime; create a "
+                 "scioto::capi::RuntimeBinding in the rank body first");
+  return *s.rt;
+}
+
+TaskCollection& collection(tc_t h) {
+  CapiState& s = state();
+  auto& mine = s.tcs[static_cast<std::size_t>(runtime().me())];
+  SCIOTO_REQUIRE(h >= 0 && static_cast<std::size_t>(h) < mine.size() &&
+                     mine[static_cast<std::size_t>(h)] != nullptr,
+                 "invalid or destroyed tc handle " << h);
+  return *mine[static_cast<std::size_t>(h)];
+}
+
+scioto::TaskHeader* header_of(task_t* t) {
+  return reinterpret_cast<scioto::TaskHeader*>(t);
+}
+
+}  // namespace
+
+namespace scioto::capi {
+
+RuntimeBinding::RuntimeBinding(pgas::Runtime& rt) {
+  CapiState& s = state();
+  std::lock_guard<std::mutex> g(s.m);
+  if (s.bound == 0) {
+    s.rt = &rt;
+    s.tcs.clear();
+    s.tcs.resize(static_cast<std::size_t>(rt.nprocs()));
+  }
+  SCIOTO_REQUIRE(s.rt == &rt,
+                 "scioto C API already bound to a different runtime");
+  ++s.bound;
+}
+
+RuntimeBinding::~RuntimeBinding() {
+  CapiState& s = state();
+  std::lock_guard<std::mutex> g(s.m);
+  if (--s.bound == 0) {
+    s.rt = nullptr;
+    s.tcs.clear();
+  }
+}
+
+}  // namespace scioto::capi
+
+extern "C" {
+
+tc_t tc_create(int task_sz, int chunk_sz, long max_sz) {
+  scioto::TcConfig cfg;
+  cfg.max_task_body = task_sz;
+  cfg.chunk_size = chunk_sz;
+  cfg.max_tasks_per_rank = max_sz;
+  auto tc = std::make_unique<TaskCollection>(runtime(), cfg);
+  CapiState& s = state();
+  auto& mine = s.tcs[static_cast<std::size_t>(runtime().me())];
+  mine.push_back(std::move(tc));
+  return static_cast<tc_t>(mine.size() - 1);
+}
+
+void tc_destroy(tc_t tc) {
+  collection(tc).destroy();
+  CapiState& s = state();
+  s.tcs[static_cast<std::size_t>(runtime().me())][static_cast<std::size_t>(
+      tc)] = nullptr;
+}
+
+task_handle_t tc_register_callback(tc_t tc, tc_callback_t fcn) {
+  return collection(tc).register_callback(
+      [tc, fcn](scioto::TaskContext& ctx) {
+        fcn(tc, reinterpret_cast<task_t*>(&ctx.header));
+      });
+}
+
+void tc_add(tc_t tc, int proc, int affty, task_t* t) {
+  scioto::TaskHeader* hdr = header_of(t);
+  collection(tc).add_raw(
+      proc, affty, reinterpret_cast<const std::byte*>(t),
+      sizeof(scioto::TaskHeader) + static_cast<std::size_t>(hdr->body_bytes));
+}
+
+void tc_process(tc_t tc) { collection(tc).process(); }
+
+void tc_reset(tc_t tc) { collection(tc).reset(); }
+
+task_t* tc_task_create(int body_sz, task_handle_t th) {
+  SCIOTO_REQUIRE(body_sz >= 0, "negative task body size");
+  auto* bytes = new std::byte[sizeof(scioto::TaskHeader) +
+                              static_cast<std::size_t>(body_sz)]{};
+  auto* hdr = reinterpret_cast<scioto::TaskHeader*>(bytes);
+  hdr->callback = th;
+  hdr->body_bytes = body_sz;
+  hdr->affinity = TC_AFFINITY_HIGH;
+  hdr->created_by = scioto::kNoRank;
+  return reinterpret_cast<task_t*>(bytes);
+}
+
+void tc_task_destroy(task_t* task) {
+  delete[] reinterpret_cast<std::byte*>(task);
+}
+
+void* tc_task_body(task_t* task) {
+  return reinterpret_cast<std::byte*>(task) + sizeof(scioto::TaskHeader);
+}
+
+void tc_task_reuse(task_t* task) { (void)task; }
+
+int tc_mype(void) { return runtime().me(); }
+
+int tc_nprocs(void) { return runtime().nprocs(); }
+
+}  // extern "C"

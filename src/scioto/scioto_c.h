@@ -1,0 +1,84 @@
+// C-style API mirroring the paper's programming interface (§3.1, §3.2):
+//
+//   tc_t  tc_create(int task_sz, int chunk_sz, int max_sz)
+//   void  tc_destroy(tc_t tc)
+//   void  tc_add(tc_t tc, int proc, int affty, task_t *t)
+//   void  tc_process(tc_t tc)
+//   int   tc_register_callback(tc_t tc, callback_t fcn)
+//   task_t *tc_task_create(int body_sz, task_handle_t th)
+//   void  tc_task_destroy(task_t *task)
+//   void *tc_task_body(task_t *task)
+//   void  tc_task_reuse(task_t *task)
+//   void  tc_reset(tc_t tc)
+//
+// The shim binds to the ambient PGAS runtime of the current SPMD region:
+// call scioto::capi::bind_runtime(rt) at the top of the rank body (the
+// analog of the paper's tc_init). All calls are made from rank context and
+// follow the same collectives discipline as the C++ API.
+//
+// This is a thin veneer over scioto::TaskCollection kept for fidelity with
+// the paper's listings (see examples/matmul_c_api.cpp); new code should
+// prefer the C++ API.
+#pragma once
+
+#include <cstdint>
+
+namespace scioto::pgas {
+class Runtime;
+}
+
+extern "C" {
+
+/// Opaque task-collection handle (dense index, identical on every rank).
+typedef int tc_t;
+/// Opaque task descriptor (header + body), heap-allocated.
+typedef struct sc_task task_t;
+typedef int task_handle_t;
+/// Task callback: receives the collection handle and a pointer to the
+/// executing task's descriptor (valid for the duration of the call).
+typedef void (*tc_callback_t)(tc_t tc, task_t* task);
+
+enum { TC_AFFINITY_LOW = 0, TC_AFFINITY_HIGH = 1 };
+
+/// Collective. Creates a task collection sized for descriptors with up to
+/// task_sz body bytes, steal chunks of chunk_sz, and max_sz tasks/rank.
+tc_t tc_create(int task_sz, int chunk_sz, long max_sz);
+/// Collective.
+void tc_destroy(tc_t tc);
+/// Collective; all ranks must register the same callbacks in order.
+task_handle_t tc_register_callback(tc_t tc, tc_callback_t fcn);
+/// Adds a copy of the task to rank `proc` with the given affinity.
+void tc_add(tc_t tc, int proc, int affty, task_t* t);
+/// Collective MIMD region; returns at global termination.
+void tc_process(tc_t tc);
+/// Collective; rearms the collection for another phase.
+void tc_reset(tc_t tc);
+
+task_t* tc_task_create(int body_sz, task_handle_t th);
+void tc_task_destroy(task_t* task);
+void* tc_task_body(task_t* task);
+/// Copy-in semantics make the buffer immediately reusable; provided for
+/// API parity.
+void tc_task_reuse(task_t* task);
+
+/// This rank / number of ranks of the bound runtime (paper examples use
+/// GA_Nodeid/GA_Nnodes; provided here for self-contained C-style code).
+int tc_mype(void);
+int tc_nprocs(void);
+
+}  // extern "C"
+
+namespace scioto::capi {
+
+/// Binds the C API to the calling SPMD region's runtime. Must be invoked
+/// by every rank before any tc_* call; unbinds automatically when the
+/// returned guard is destroyed.
+class RuntimeBinding {
+ public:
+  explicit RuntimeBinding(pgas::Runtime& rt);
+  ~RuntimeBinding();
+  RuntimeBinding(const RuntimeBinding&) = delete;
+  RuntimeBinding& operator=(const RuntimeBinding&) = delete;
+};
+
+}  // namespace scioto::capi

@@ -1,0 +1,15 @@
+#include "scioto/task.hpp"
+
+namespace scioto {
+
+Task::Task(std::int32_t body_bytes, TaskHandle handle) {
+  SCIOTO_REQUIRE(body_bytes >= 0, "negative task body size " << body_bytes);
+  buf_.assign(sizeof(TaskHeader) + static_cast<std::size_t>(body_bytes),
+              std::byte{0});
+  TaskHeader h;
+  h.callback = handle;
+  h.body_bytes = body_bytes;
+  std::memcpy(buf_.data(), &h, sizeof(h));
+}
+
+}  // namespace scioto

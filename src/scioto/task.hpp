@@ -1,0 +1,121 @@
+// Task descriptors and the collective callback registry (paper §2.1, §3.2).
+//
+// A task descriptor is a contiguous object: a fixed header holding task
+// meta-data (the portable callback handle, affinity, body size, creator)
+// followed by an opaque user-defined body. Descriptors are copied in and
+// out of queues wholesale, which is what lets several of them move in one
+// one-sided transfer during a steal.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <vector>
+
+#include "base/error.hpp"
+#include "base/types.hpp"
+
+namespace scioto {
+
+class TaskCollection;
+
+/// Portable handle naming a collectively registered callback.
+using TaskHandle = std::int32_t;
+inline constexpr TaskHandle kInvalidHandle = -1;
+
+/// Affinity levels (paper §2, Figure 2): tasks with high affinity are
+/// placed at the owner-processed head of the queue; low-affinity tasks go
+/// to the steal end and are the first to migrate.
+inline constexpr int kAffinityLow = 0;
+inline constexpr int kAffinityHigh = 1;
+
+/// Fixed meta-data prefix of every task descriptor.
+struct TaskHeader {
+  TaskHandle callback = kInvalidHandle;
+  std::int32_t affinity = kAffinityHigh;
+  std::int32_t body_bytes = 0;
+  std::int32_t created_by = kNoRank;
+};
+static_assert(sizeof(TaskHeader) == 16);
+
+/// Execution context handed to a task's callback: a portable reference to
+/// the collection it runs on (for spawning subtasks) plus a local pointer
+/// to the descriptor's body (paper §3.2).
+struct TaskContext {
+  TaskCollection& tc;
+  TaskHeader& header;
+  void* body;
+  Rank executing_rank;
+
+  template <class T>
+  T& body_as() {
+    SCIOTO_CHECK_MSG(sizeof(T) <= static_cast<std::size_t>(header.body_bytes),
+                     "body_as<T> with sizeof(T)=" << sizeof(T)
+                         << " > body_bytes=" << header.body_bytes);
+    return *static_cast<T*>(body);
+  }
+};
+
+using TaskFn = std::function<void(TaskContext&)>;
+
+/// An owning task buffer with the paper's tc_task_create / tc_task_body /
+/// tc_task_reuse lifecycle. Adding a task copies the descriptor into the
+/// collection, so the buffer is immediately reusable.
+class Task {
+ public:
+  /// Creates a descriptor with a body of `body_bytes` (zeroed) bound to
+  /// callback `handle`.
+  Task(std::int32_t body_bytes, TaskHandle handle);
+
+  TaskHeader& header() { return *reinterpret_cast<TaskHeader*>(buf_.data()); }
+  const TaskHeader& header() const {
+    return *reinterpret_cast<const TaskHeader*>(buf_.data());
+  }
+
+  void* body() { return buf_.data() + sizeof(TaskHeader); }
+  const void* body() const { return buf_.data() + sizeof(TaskHeader); }
+
+  template <class T>
+  T& body_as() {
+    SCIOTO_REQUIRE(sizeof(T) <= static_cast<std::size_t>(header().body_bytes),
+                   "task body too small for requested type");
+    return *static_cast<T*>(body());
+  }
+
+  /// Marks the buffer available for building the next task (API parity
+  /// with tc_task_reuse; copy-in semantics make this a semantic no-op).
+  void reuse() {}
+
+  /// Whole-descriptor bytes (header + body), as stored in queues.
+  const std::byte* data() const { return buf_.data(); }
+  std::size_t size() const { return buf_.size(); }
+
+ private:
+  std::vector<std::byte> buf_;
+};
+
+/// Collectively built table of task callbacks. Handles are dense indices
+/// valid on every rank, making them safe to embed in task descriptors that
+/// migrate (paper §3.2).
+class CallbackRegistry {
+ public:
+  /// Collective registration protocol is driven by TaskCollection; this
+  /// container just stores in registration order.
+  TaskHandle append(TaskFn fn) {
+    fns_.push_back(std::move(fn));
+    return static_cast<TaskHandle>(fns_.size() - 1);
+  }
+
+  const TaskFn& lookup(TaskHandle h) const {
+    SCIOTO_REQUIRE(h >= 0 && static_cast<std::size_t>(h) < fns_.size(),
+                   "invalid task handle " << h);
+    return fns_[static_cast<std::size_t>(h)];
+  }
+
+  std::size_t size() const { return fns_.size(); }
+
+ private:
+  std::vector<TaskFn> fns_;
+};
+
+}  // namespace scioto

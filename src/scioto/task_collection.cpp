@@ -1,0 +1,350 @@
+#include "scioto/task_collection.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "base/log.hpp"
+
+namespace scioto {
+
+TcStats& TcStats::operator+=(const TcStats& o) {
+  tasks_executed += o.tasks_executed;
+  tasks_spawned_local += o.tasks_spawned_local;
+  tasks_spawned_remote += o.tasks_spawned_remote;
+  steals += o.steals;
+  steals_same_node += o.steals_same_node;
+  steal_attempts += o.steal_attempts;
+  tasks_stolen += o.tasks_stolen;
+  releases += o.releases;
+  reacquires += o.reacquires;
+  td_waves_voted += o.td_waves_voted;
+  td_black_votes += o.td_black_votes;
+  td_marks_sent += o.td_marks_sent;
+  td_marks_skipped += o.td_marks_skipped;
+  time_total += o.time_total;
+  time_working += o.time_working;
+  time_searching += o.time_searching;
+  return *this;
+}
+
+TaskCollection::TaskCollection(pgas::Runtime& rt, TcConfig cfg)
+    : rt_(rt), cfg_(cfg), clos_(rt) {
+  SCIOTO_REQUIRE(cfg_.max_task_body >= 0, "negative max_task_body");
+  SCIOTO_REQUIRE(cfg_.chunk_size >= 1, "chunk_size must be >= 1");
+  SCIOTO_REQUIRE(cfg_.max_tasks_per_rank >= 2, "max_tasks_per_rank too small");
+
+  SplitQueue::Config qc;
+  qc.slot_bytes = align_up(
+      sizeof(TaskHeader) + static_cast<std::size_t>(cfg_.max_task_body), 8);
+  qc.capacity = static_cast<std::uint64_t>(cfg_.max_tasks_per_rank);
+  qc.chunk = cfg_.chunk_size;
+  qc.mode = cfg_.queue_mode;
+  qc.release_threshold =
+      cfg_.release_threshold != 0
+          ? cfg_.release_threshold
+          : 2 * static_cast<std::uint64_t>(cfg_.chunk_size);
+  queue_ = std::make_unique<SplitQueue>(rt_, qc);
+
+  TerminationDetector::Config tdc;
+  tdc.color_optimization = cfg_.color_optimization;
+  td_ = std::make_unique<TerminationDetector>(rt_, tdc);
+
+  // TaskCollection objects are constructed per rank (ARMCI style); the
+  // per-rank tables below are indexed by me() so the indexing discipline
+  // stays uniform, but only this rank's slots get real buffers -- at 512
+  // ranks, allocating everyone's steal buffers in every rank's object
+  // would waste >100 MB per collection.
+  int n = rt_.nprocs();
+  const std::size_t self = static_cast<std::size_t>(rt_.me());
+  registries_.resize(static_cast<std::size_t>(n));
+  scratch_.resize(static_cast<std::size_t>(n));
+  stats_.resize(static_cast<std::size_t>(n));
+  steal_bufs_.resize(static_cast<std::size_t>(n));
+  exec_bufs_.resize(static_cast<std::size_t>(n));
+  scratch_[self].resize(qc.slot_bytes);
+  steal_bufs_[self].resize(qc.slot_bytes *
+                           static_cast<std::size_t>(cfg_.chunk_size));
+  exec_bufs_[self].resize(qc.slot_bytes);
+  rngs_.reserve(static_cast<std::size_t>(n));
+  for (Rank r = 0; r < n; ++r) {
+    rngs_.emplace_back(derive_seed(rt_.seed(), r, /*stream=*/0xA11));
+  }
+  rt_.barrier();
+}
+
+void TaskCollection::destroy() {
+  SCIOTO_REQUIRE(live_, "destroy of dead task collection");
+  queue_->destroy();
+  td_->destroy();
+  live_ = false;
+}
+
+TaskHandle TaskCollection::register_callback(TaskFn fn) {
+  rt_.barrier();
+  TaskHandle h =
+      registries_[static_cast<std::size_t>(rt_.me())].append(std::move(fn));
+  rt_.barrier();
+  return h;
+}
+
+CloHandle TaskCollection::register_clo(void* local_instance) {
+  return clos_.register_object(local_instance);
+}
+
+Task TaskCollection::task_create(std::int32_t body_bytes,
+                                 TaskHandle handle) const {
+  SCIOTO_REQUIRE(
+      body_bytes <= cfg_.max_task_body,
+      "task body " << body_bytes << " exceeds max_task_body "
+                   << cfg_.max_task_body << " given at tc_create time");
+  return Task(body_bytes, handle);
+}
+
+void TaskCollection::add_raw(Rank where, int affinity,
+                             const std::byte* descriptor, std::size_t size) {
+  SCIOTO_REQUIRE(where >= 0 && where < rt_.nprocs(),
+                 "add to invalid rank " << where);
+  SCIOTO_REQUIRE(size >= sizeof(TaskHeader) && size <= slot_bytes(),
+                 "task descriptor size " << size
+                     << " outside [header, slot] bounds");
+  // Pad the descriptor into a slot-sized scratch buffer (copy-in).
+  std::vector<std::byte>& scratch =
+      scratch_[static_cast<std::size_t>(rt_.me())];
+  std::memcpy(scratch.data(), descriptor, size);
+  // Stamp creator and affinity into the stored header.
+  auto* hdr = reinterpret_cast<TaskHeader*>(scratch.data());
+  hdr->created_by = rt_.me();
+  hdr->affinity = affinity;
+
+  bool ok;
+  if (where == rt_.me()) {
+    ok = queue_->push_local(scratch.data(), affinity);
+    if (ok) {
+      my_stats().tasks_spawned_local++;
+      queue_->release_maybe();
+    }
+  } else {
+    ok = queue_->add_remote(where, scratch.data());
+    if (ok) {
+      my_stats().tasks_spawned_remote++;
+      // A remote add moves work: termination detection must know (§5.2).
+      td_->note_lb_op(where);
+    }
+  }
+  SCIOTO_REQUIRE(ok, "task collection patch on rank "
+                         << where << " is full (max_tasks_per_rank="
+                         << cfg_.max_tasks_per_rank << ")");
+}
+
+void TaskCollection::execute(std::byte* descriptor) {
+  auto* hdr = reinterpret_cast<TaskHeader*>(descriptor);
+  const TaskFn& fn =
+      registries_[static_cast<std::size_t>(rt_.me())].lookup(hdr->callback);
+  TaskContext ctx{*this, *hdr, descriptor + sizeof(TaskHeader), rt_.me()};
+  fn(ctx);
+  my_stats().tasks_executed++;
+}
+
+void TaskCollection::process() {
+  // One barrier separates everyone's local detector rearm from the first
+  // token traffic; the exit is collective by construction (the root's
+  // termination broadcast releases every rank), so no closing barrier is
+  // needed -- this keeps tc_process within a small factor of one barrier
+  // for an empty phase (Figure 4).
+  td_->reset_local();
+  rt_.barrier();
+  TcStats& st = my_stats();
+  Xoshiro256& rng = rngs_[static_cast<std::size_t>(rt_.me())];
+  std::byte* exec_buf = exec_bufs_[static_cast<std::size_t>(rt_.me())].data();
+  std::byte* steal_buf =
+      steal_bufs_[static_cast<std::size_t>(rt_.me())].data();
+  const int n = rt_.nprocs();
+  const TimeNs t_begin = rt_.now();
+  TimeNs idle_begin = 0;
+  // Steal backoff state: after each empty-handed steal round, double the
+  // number of cheap TD polls before the next round (capped).
+  int consecutive_failed_steals = 0;
+  int polls_until_steal = 0;
+  std::uint64_t idle_iterations = 0;  // watchdog for diagnostics
+
+  for (;;) {
+    // 1. Drain local work (head of the queue = highest affinity).
+    if (queue_->pop_local(exec_buf)) {
+      TimeNs t0 = rt_.now();
+      execute(exec_buf);
+      st.time_working += rt_.now() - t0;
+      queue_->release_maybe();
+      consecutive_failed_steals = 0;
+      polls_until_steal = 0;
+      continue;
+    }
+    // 2. Reclaim work parked in our shared portion.
+    if (queue_->reacquire() > 0) {
+      continue;
+    }
+
+    // 3. Idle: interleave steal attempts with termination detection.
+    idle_begin = rt_.now();
+    bool got_work = false;
+    bool attempted = false;
+    if (cfg_.load_balancing && n > 1 && polls_until_steal <= 0) {
+      attempted = true;
+      const int cores = rt_.machine().cores_per_node;
+      for (int attempt = 0; attempt < cfg_.steals_per_td_poll; ++attempt) {
+        // §8 multicore enhancement: optionally prefer a victim sharing our
+        // node, whose queue we can raid through shared memory.
+        Rank victim = kNoRank;
+        if (cfg_.node_steal_bias > 0 && cores > 1 &&
+            rng.bernoulli(cfg_.node_steal_bias)) {
+          Rank node_base = (rt_.me() / cores) * cores;
+          int node_sz = std::min(cores, n - node_base);
+          if (node_sz > 1) {
+            victim = node_base + static_cast<Rank>(rng.next_below(
+                                     static_cast<std::uint64_t>(node_sz - 1)));
+            if (victim >= rt_.me()) {
+              ++victim;
+            }
+          }
+        }
+        if (victim == kNoRank) {
+          victim = static_cast<Rank>(
+              rng.next_below(static_cast<std::uint64_t>(n - 1)));
+          if (victim >= rt_.me()) {
+            ++victim;
+          }
+        }
+        if (queue_->peek_shared(victim) == 0) {
+          continue;
+        }
+        int got = queue_->steal_from(victim, steal_buf);
+        if (got > 0) {
+          if (cores > 1 && rt_.machine().same_node(rt_.me(), victim)) {
+            st.steals_same_node++;
+          }
+          td_->note_lb_op(victim);
+          // Requeue all but the first stolen task, then execute that one
+          // directly from the steal buffer. This guarantees progress per
+          // successful steal: requeued tasks are instantly stealable again
+          // (always so under no-split queues), and without it two mutually
+          // stealing ranks can bounce a task chunk forever -- a genuine
+          // livelock, not a performance nicety.
+          for (int i = 1; i < got; ++i) {
+            bool ok = queue_->push_local(
+                steal_buf + static_cast<std::size_t>(i) * slot_bytes(),
+                kAffinityHigh);
+            SCIOTO_CHECK_MSG(ok, "local queue overflow requeueing steal");
+          }
+          TimeNs t0 = rt_.now();
+          execute(steal_buf);
+          st.time_working += rt_.now() - t0;
+          queue_->release_maybe();
+          got_work = true;
+          break;
+        }
+      }
+    }
+    if (got_work) {
+      consecutive_failed_steals = 0;
+      polls_until_steal = 0;
+      st.time_searching += rt_.now() - idle_begin;
+      continue;
+    }
+    if (attempted) {
+      ++consecutive_failed_steals;
+      if (cfg_.steal_backoff_max > 0) {
+        int shift = std::min(consecutive_failed_steals, 16);
+        polls_until_steal = std::min(1 << shift, cfg_.steal_backoff_max);
+      }
+    } else {
+      --polls_until_steal;
+    }
+
+    if (td_->step() == TerminationDetector::Status::Terminated) {
+      st.time_searching += rt_.now() - idle_begin;
+      break;
+    }
+    rt_.relax();
+    st.time_searching += rt_.now() - idle_begin;
+    if (++idle_iterations % 1000000 == 0) {
+      SCIOTO_WARN("rank " << rt_.me() << " idle for " << idle_iterations
+                          << " iterations: queue=" << queue_->size()
+                          << " (priv=" << queue_->private_size()
+                          << " shared=" << queue_->shared_size()
+                          << ") executed=" << st.tasks_executed
+                          << " steals=" << queue_->counters().steals_in);
+    }
+  }
+
+  st.time_total += rt_.now() - t_begin;
+  // Fold queue/TD counters into the stats snapshot.
+  const SplitQueue::Counters& qc = queue_->counters();
+  st.steals = qc.steals_in;
+  st.steal_attempts = qc.steal_attempts;
+  st.tasks_stolen = qc.tasks_stolen_in;
+  st.releases = qc.releases;
+  st.reacquires = qc.reacquires;
+  const TerminationDetector::Counters& tc = td_->counters();
+  st.td_waves_voted = tc.waves_voted;
+  st.td_black_votes = tc.black_votes;
+  st.td_marks_sent = tc.dirty_marks_sent;
+  st.td_marks_skipped = tc.dirty_marks_skipped;
+}
+
+void TaskCollection::reset() {
+  queue_->reset_collective();
+  td_->reset();
+  stats_[static_cast<std::size_t>(rt_.me())] = TcStats{};
+  rt_.barrier();
+}
+
+TcStats TaskCollection::stats_global() {
+  // Element-wise allreduce of the POD counter block.
+  TcStats local = stats_local();
+  TcStats total;
+  rt_.barrier();
+  static_assert(std::is_trivially_copyable_v<TcStats>);
+  // Reduce via repeated allreduce_sum of a compact array view.
+  std::uint64_t in[16] = {local.tasks_executed,
+                          local.tasks_spawned_local,
+                          local.tasks_spawned_remote,
+                          local.steals,
+                          local.steal_attempts,
+                          local.tasks_stolen,
+                          local.releases,
+                          local.reacquires,
+                          local.td_waves_voted,
+                          local.td_black_votes,
+                          local.td_marks_sent,
+                          local.td_marks_skipped,
+                          static_cast<std::uint64_t>(local.time_total),
+                          static_cast<std::uint64_t>(local.time_working),
+                          static_cast<std::uint64_t>(local.time_searching),
+                          local.steals_same_node};
+  struct Packed {
+    std::uint64_t v[16];
+  } packed;
+  std::memcpy(packed.v, in, sizeof(in));
+  Packed sum = rt_.allreduce(packed, [](Packed a, const Packed& b) {
+    for (int i = 0; i < 16; ++i) a.v[i] += b.v[i];
+    return a;
+  });
+  total.tasks_executed = sum.v[0];
+  total.tasks_spawned_local = sum.v[1];
+  total.tasks_spawned_remote = sum.v[2];
+  total.steals = sum.v[3];
+  total.steal_attempts = sum.v[4];
+  total.tasks_stolen = sum.v[5];
+  total.releases = sum.v[6];
+  total.reacquires = sum.v[7];
+  total.td_waves_voted = sum.v[8];
+  total.td_black_votes = sum.v[9];
+  total.td_marks_sent = sum.v[10];
+  total.td_marks_skipped = sum.v[11];
+  total.time_total = static_cast<TimeNs>(sum.v[12]);
+  total.time_working = static_cast<TimeNs>(sum.v[13]);
+  total.time_searching = static_cast<TimeNs>(sum.v[14]);
+  total.steals_same_node = sum.v[15];
+  return total;
+}
+
+}  // namespace scioto

@@ -1,0 +1,171 @@
+// The task collection: Scioto's global view of a distributed set of task
+// objects (paper §2, §3, §5).
+//
+// A task collection aggregates one SplitQueue patch per process. Programs
+// begin SPMD, seed the collection with tc_add-style calls, then
+// collectively enter process() -- a MIMD region in which every process
+// executes local tasks, steals when empty, and spawns subtasks, until
+// wave-based termination detection observes a globally idle state.
+//
+// Scheduling policy (paper §2, §5.1):
+//   * local processing pops the newest high-affinity task (LIFO head);
+//   * steals take the oldest low-affinity tasks (tail), chunk at a time;
+//   * victims are chosen uniformly at random among the other ranks;
+//   * the owner releases private tasks to the shared portion when thieves
+//     have drained it, and reacquires shared tasks when it runs dry.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "base/rng.hpp"
+#include "scioto/clo.hpp"
+#include "scioto/queue.hpp"
+#include "scioto/task.hpp"
+#include "scioto/termination.hpp"
+
+namespace scioto {
+
+struct TcConfig {
+  /// Maximum user body size a task descriptor may carry (the paper's
+  /// task_sz, bytes).
+  std::int32_t max_task_body = 256;
+  /// Steal granularity in tasks (the paper's chunk_sz).
+  int chunk_size = 10;
+  /// Per-rank queue capacity in tasks (the paper's max_sz).
+  std::int64_t max_tasks_per_rank = 1 << 16;
+  /// Queue variant: Split (the paper's design), NoSplit (the original
+  /// fully locked queue, Figure 7's ablation), or WaitFreeSteal (the §8
+  /// lock-free steal path).
+  QueueMode queue_mode = QueueMode::Split;
+  /// The paper allows disabling dynamic load balancing before process().
+  bool load_balancing = true;
+  /// §5.3 token-coloring optimization.
+  bool color_optimization = true;
+  /// Tasks released from private to shared when private exceeds this and
+  /// the shared portion is nearly empty (0 = 2 * chunk_size).
+  std::uint64_t release_threshold = 0;
+  /// Failed steal attempts on distinct victims per termination-detection
+  /// poll while idle.
+  int steals_per_td_poll = 1;
+  /// Exponential backoff on consecutive failed steal rounds: an idle rank
+  /// doubles the number of cheap termination-detection polls between
+  /// (expensive, one-sided) steal attempts, capped at this many polls.
+  /// This is what lets the token wave propagate at poll speed once the
+  /// system drains (Figure 4's ~2x-barrier detection cost). 0 disables.
+  int steal_backoff_max = 64;
+  /// §8 "multicore scheduling enhancements": probability that a steal
+  /// attempt targets a victim on the *same node* (cheap shared-memory
+  /// transfer) instead of a uniformly random rank. Only meaningful when
+  /// the machine model has cores_per_node > 1. 0 = the paper's uniform
+  /// victim selection.
+  double node_steal_bias = 0.0;
+};
+
+/// Aggregated execution statistics (per-rank, summable across ranks).
+struct TcStats {
+  std::uint64_t tasks_executed = 0;
+  std::uint64_t tasks_spawned_local = 0;
+  std::uint64_t tasks_spawned_remote = 0;
+  std::uint64_t steals = 0;
+  std::uint64_t steals_same_node = 0;  // subset of steals (multicore topo)
+  std::uint64_t steal_attempts = 0;
+  std::uint64_t tasks_stolen = 0;
+  std::uint64_t releases = 0;
+  std::uint64_t reacquires = 0;
+  std::uint64_t td_waves_voted = 0;
+  std::uint64_t td_black_votes = 0;
+  std::uint64_t td_marks_sent = 0;
+  std::uint64_t td_marks_skipped = 0;
+  TimeNs time_total = 0;
+  TimeNs time_working = 0;   // executing task callbacks
+  TimeNs time_searching = 0; // stealing + termination detection
+
+  TcStats& operator+=(const TcStats& o);
+};
+
+class TaskCollection {
+ public:
+  /// Collective: all ranks construct with identical cfg.
+  TaskCollection(pgas::Runtime& rt, TcConfig cfg = {});
+
+  /// Collective: releases shared space (tc_destroy).
+  void destroy();
+
+  pgas::Runtime& runtime() { return rt_; }
+  const TcConfig& config() const { return cfg_; }
+
+  // ---- Collective registration (before first process()) ----
+  /// Registers a task callback; all ranks must register the same callbacks
+  /// in the same order (tc_register_callback).
+  TaskHandle register_callback(TaskFn fn);
+  /// Registers this rank's instance of a common local object (§2.3).
+  CloHandle register_clo(void* local_instance);
+  /// Looks up the executing rank's instance of a CLO.
+  template <class T>
+  T& clo(CloHandle h) {
+    return clos_.lookup_as<T>(h);
+  }
+
+  // ---- Task management ----
+  /// Builds an owning descriptor buffer (tc_task_create).
+  Task task_create(std::int32_t body_bytes, TaskHandle handle) const;
+  /// Adds a copy of the task to `where`'s patch with the given affinity
+  /// (tc_add). Copy-in semantics: the Task buffer is reusable on return.
+  /// Throws scioto::Error if the destination queue is full.
+  void add(Rank where, int affinity, const Task& task) {
+    add_raw(where, affinity, task.data(), task.size());
+  }
+  /// Same, from a raw descriptor (header + body) of `size` bytes; used by
+  /// the C API shim.
+  void add_raw(Rank where, int affinity, const std::byte* descriptor,
+               std::size_t size);
+  /// Convenience: add to the local patch.
+  void add_local(const Task& task, int affinity = kAffinityHigh) {
+    add(rt_.me(), affinity, task);
+  }
+
+  // ---- Execution ----
+  /// Collective: processes the collection to global termination (the MIMD
+  /// region; tc_process). Tasks may call add() to spawn subtasks.
+  void process();
+  /// Collective: rearms an already processed collection (tc_reset).
+  void reset();
+  /// May be toggled (collectively) between phases.
+  void set_load_balancing(bool enabled) { cfg_.load_balancing = enabled; }
+
+  // ---- Statistics ----
+  /// This rank's counters from the last process() call.
+  const TcStats& stats_local() const {
+    return stats_[static_cast<std::size_t>(rt_.me())];
+  }
+  /// Collective: sum over all ranks.
+  TcStats stats_global();
+
+  /// Tasks currently queued on this rank (diagnostics).
+  std::uint64_t local_queue_size() const { return queue_->size(); }
+
+  /// Descriptor slot size (header + max body, padded).
+  std::size_t slot_bytes() const { return queue_->slot_bytes(); }
+
+ private:
+  void execute(std::byte* descriptor);
+  TcStats& my_stats() { return stats_[static_cast<std::size_t>(rt_.me())]; }
+
+  pgas::Runtime& rt_;
+  TcConfig cfg_;
+  std::unique_ptr<SplitQueue> queue_;
+  std::unique_ptr<TerminationDetector> td_;
+  CloRegistry clos_;
+  /// Per-rank callback tables (identical contents by SPMD discipline).
+  std::vector<CallbackRegistry> registries_;
+  /// Per-rank scratch for padding descriptors to slot size.
+  std::vector<std::vector<std::byte>> scratch_;
+  std::vector<Xoshiro256> rngs_;
+  std::vector<TcStats> stats_;
+  std::vector<std::vector<std::byte>> steal_bufs_;
+  std::vector<std::vector<std::byte>> exec_bufs_;
+  bool live_ = true;
+};
+
+}  // namespace scioto

@@ -1,0 +1,184 @@
+#include "scioto/termination.hpp"
+
+namespace scioto {
+
+TerminationDetector::TerminationDetector(pgas::Runtime& rt)
+    : TerminationDetector(rt, Config{}) {}
+
+TerminationDetector::TerminationDetector(pgas::Runtime& rt, Config cfg)
+    : rt_(rt), cfg_(cfg) {
+  seg_ = rt_.seg_alloc(sizeof(TdCtl));
+  if (rt_.me() == 0) {
+    for (Rank r = 0; r < rt_.nprocs(); ++r) {
+      new (rt_.seg_ptr(seg_, r)) TdCtl();
+    }
+  }
+  state_.resize(static_cast<std::size_t>(rt_.nprocs()));
+  counters_.resize(static_cast<std::size_t>(rt_.nprocs()));
+  rt_.barrier();
+}
+
+void TerminationDetector::destroy() { rt_.seg_free(seg_); }
+
+TerminationDetector::TdCtl& TerminationDetector::ctl(Rank r) {
+  return *reinterpret_cast<TdCtl*>(rt_.seg_ptr(seg_, r));
+}
+
+bool TerminationDetector::has_child(int slot) const {
+  return 2 * rt_.me() + 1 + slot < rt_.nprocs();
+}
+
+Rank TerminationDetector::child(int slot) const {
+  return 2 * rt_.me() + 1 + slot;
+}
+
+bool TerminationDetector::is_descendant(Rank v, Rank anc) {
+  if (v <= anc) {
+    return false;  // descendants have strictly larger heap indices
+  }
+  while (v > anc) {
+    v = (v - 1) / 2;
+  }
+  return v == anc;
+}
+
+template <class T, class V>
+void TerminationDetector::put_token(Rank target, std::atomic<T>& field,
+                                    V value) {
+  rt_.backend().rma_charge_oneway(target, sizeof(T));
+  field.store(static_cast<T>(value), std::memory_order_release);
+}
+
+void TerminationDetector::reset_local() {
+  TdCtl& my = ctl(rt_.me());
+  my.down_wave.store(0, std::memory_order_relaxed);
+  my.up[0].store(0, std::memory_order_relaxed);
+  my.up[1].store(0, std::memory_order_relaxed);
+  my.term_wave.store(0, std::memory_order_relaxed);
+  my.dirty.store(0, std::memory_order_relaxed);
+  state_[static_cast<std::size_t>(rt_.me())] = LocalState{};
+  counters_[static_cast<std::size_t>(rt_.me())] = Counters{};
+}
+
+void TerminationDetector::reset() {
+  rt_.barrier();
+  reset_local();
+  rt_.barrier();
+}
+
+void TerminationDetector::note_lb_op(Rank other) {
+  LocalState& st = state_[static_cast<std::size_t>(rt_.me())];
+  st.self_black = true;
+
+  if (cfg_.color_optimization) {
+    // Skip the mark if we have not voted in the newest wave we know of:
+    // our own future vote will be black and forces the re-vote anyway.
+    bool have_voted = st.voted_wave > 0 && st.voted_wave == st.wave_seen;
+    if (!have_voted || is_descendant(other, rt_.me())) {
+      my_counters().dirty_marks_skipped++;
+      return;
+    }
+  }
+  put_token(other, ctl(other).dirty, 1u);
+  my_counters().dirty_marks_sent++;
+}
+
+TerminationDetector::Status TerminationDetector::step() {
+  Rank me = rt_.me();
+  LocalState& st = state_[static_cast<std::size_t>(me)];
+  if (st.terminated) {
+    return Status::Terminated;
+  }
+  rt_.charge(rt_.machine().poll);
+  TdCtl& my = ctl(me);
+
+  // ---- Termination broadcast ----
+  std::uint64_t tw = my.term_wave.load(std::memory_order_acquire);
+  if (tw != 0) {
+    if (!st.term_forwarded) {
+      st.term_forwarded = true;
+      for (int s = 0; s < 2; ++s) {
+        if (has_child(s)) {
+          put_token(child(s), ctl(child(s)).term_wave, tw);
+        }
+      }
+    }
+    st.terminated = true;
+    return Status::Terminated;
+  }
+
+  // ---- Down wave ----
+  if (me == 0) {
+    if (st.wave_seen == st.voted_wave) {
+      // Previous wave concluded (or none started): launch the next one.
+      ++st.wave_seen;
+      my_counters().waves_started++;
+      for (int s = 0; s < 2; ++s) {
+        if (has_child(s)) {
+          put_token(child(s), ctl(child(s)).down_wave, st.wave_seen);
+        }
+      }
+    }
+  } else {
+    std::uint64_t dw = my.down_wave.load(std::memory_order_acquire);
+    if (dw > st.wave_seen) {
+      st.wave_seen = dw;
+      for (int s = 0; s < 2; ++s) {
+        if (has_child(s)) {
+          put_token(child(s), ctl(child(s)).down_wave, st.wave_seen);
+        }
+      }
+    }
+  }
+
+  // ---- Up wave: vote once per wave, when idle and children reported ----
+  if (st.wave_seen > st.voted_wave) {
+    bool children_in = true;
+    bool children_black = false;
+    for (int s = 0; s < 2; ++s) {
+      if (!has_child(s)) continue;
+      std::uint64_t u = my.up[s].load(std::memory_order_acquire);
+      if ((u >> 1) != st.wave_seen) {
+        children_in = false;
+        break;
+      }
+      children_black = children_black || (u & 1);
+    }
+    if (children_in) {
+      bool black = children_black || st.self_black ||
+                   my.dirty.exchange(0, std::memory_order_acq_rel) != 0;
+      st.self_black = false;
+      st.voted_wave = st.wave_seen;
+      my_counters().waves_voted++;
+      if (black) {
+        my_counters().black_votes++;
+      }
+      if (me == 0) {
+        if (!black) {
+          // All-white wave: decide termination and broadcast.
+          my.term_wave.store(st.wave_seen, std::memory_order_release);
+        }
+        // Black: the next step() launches a fresh wave.
+      } else {
+        Rank parent = (me - 1) / 2;
+        int slot = (me - 1) % 2;
+        put_token(parent, ctl(parent).up[slot],
+                  (st.wave_seen << 1) | (black ? 1u : 0u));
+      }
+    }
+  }
+  return Status::Working;
+}
+
+TerminationDetector::Counters TerminationDetector::counters_sum() const {
+  Counters local = counters();
+  Counters total;
+  total.waves_voted = rt_.allreduce_sum(local.waves_voted);
+  total.black_votes = rt_.allreduce_sum(local.black_votes);
+  total.dirty_marks_sent = rt_.allreduce_sum(local.dirty_marks_sent);
+  total.dirty_marks_skipped = rt_.allreduce_sum(local.dirty_marks_skipped);
+  total.waves_started = rt_.allreduce_sum(local.waves_started);
+  return total;
+}
+
+}  // namespace scioto

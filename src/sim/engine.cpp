@@ -1,0 +1,273 @@
+#include "sim/engine.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "base/error.hpp"
+#include "base/log.hpp"
+
+namespace scioto::sim {
+
+namespace {
+thread_local Engine* g_current_engine = nullptr;
+}
+
+Engine* current_engine() { return g_current_engine; }
+
+Engine::Engine(Config cfg, std::function<void(Rank)> rank_main)
+    : cfg_(std::move(cfg)), rank_main_(std::move(rank_main)) {
+  SCIOTO_REQUIRE(cfg_.nranks >= 1, "nranks must be >= 1, got " << cfg_.nranks);
+  ranks_.resize(static_cast<std::size_t>(cfg_.nranks));
+  cpu_scale_.resize(static_cast<std::size_t>(cfg_.nranks));
+  rma_busy_until_.assign(static_cast<std::size_t>(cfg_.nranks), 0);
+  for (Rank r = 0; r < cfg_.nranks; ++r) {
+    cpu_scale_[static_cast<std::size_t>(r)] =
+        cfg_.machine.cpu_scale(r, cfg_.nranks);
+    ranks_[static_cast<std::size_t>(r)].fiber = std::make_unique<Fiber>(
+        [this, r] { rank_main_(r); }, cfg_.stack_bytes);
+  }
+  unfinished_ = cfg_.nranks;
+}
+
+Engine::~Engine() = default;
+
+Engine::RankState& Engine::cur() {
+  SCIOTO_CHECK(current_ != kNoRank);
+  return ranks_[static_cast<std::size_t>(current_)];
+}
+
+const Engine::RankState& Engine::cur() const {
+  SCIOTO_CHECK(current_ != kNoRank);
+  return ranks_[static_cast<std::size_t>(current_)];
+}
+
+TimeNs Engine::now() const { return cur().clock; }
+
+TimeNs Engine::now(Rank r) const {
+  return ranks_[static_cast<std::size_t>(r)].clock;
+}
+
+TimeNs Engine::max_clock() const {
+  TimeNs m = 0;
+  for (const auto& st : ranks_) {
+    m = std::max(m, st.clock);
+  }
+  return m;
+}
+
+void Engine::advance_unsynced(TimeNs dt) {
+  SCIOTO_CHECK(dt >= 0);
+  cur().clock += dt;
+}
+
+void Engine::charge(TimeNs dt) {
+  SCIOTO_CHECK(dt >= 0);
+  RankState& st = cur();
+  st.clock += static_cast<TimeNs>(
+      std::llround(static_cast<double>(dt) *
+                   cpu_scale_[static_cast<std::size_t>(current_)]));
+  if (st.clock - st.last_sync_clock > cfg_.machine.sync_quantum) {
+    sync();
+  }
+}
+
+void Engine::advance_to(TimeNs t) {
+  RankState& st = cur();
+  if (t > st.clock) {
+    st.clock = t;
+  }
+}
+
+void Engine::sync() {
+  RankState& st = cur();
+  runq_.emplace(st.clock, current_);
+  st.fiber->yield();
+  st.last_sync_clock = st.clock;
+}
+
+void Engine::block() {
+  RankState& st = cur();
+  st.blocked = true;
+  st.fiber->yield();
+  // wake() cleared `blocked` and advanced the clock before rescheduling.
+  st.last_sync_clock = st.clock;
+}
+
+void Engine::wake(Rank r, TimeNs at) {
+  RankState& st = ranks_[static_cast<std::size_t>(r)];
+  SCIOTO_CHECK_MSG(st.blocked && !st.finished,
+                   "wake of rank " << r << " that is not blocked");
+  st.blocked = false;
+  if (at > st.clock) {
+    st.clock = at;
+  }
+  runq_.emplace(st.clock, r);
+}
+
+void Engine::run() {
+  SCIOTO_CHECK(!running_);
+  running_ = true;
+  Engine* prev = g_current_engine;
+  g_current_engine = this;
+
+  for (Rank r = 0; r < cfg_.nranks; ++r) {
+    runq_.emplace(0, r);
+  }
+
+  while (!runq_.empty()) {
+    auto [t, r] = runq_.top();
+    runq_.pop();
+    RankState& st = ranks_[static_cast<std::size_t>(r)];
+    SCIOTO_CHECK(!st.finished && !st.blocked);
+    current_ = r;
+    st.fiber->resume();
+    current_ = kNoRank;
+    if (st.fiber->finished()) {
+      st.finished = true;
+      --unfinished_;
+    }
+  }
+
+  g_current_engine = prev;
+  running_ = false;
+  if (unfinished_ > 0) {
+    report_deadlock();
+  }
+}
+
+void Engine::report_deadlock() {
+  std::fprintf(stderr,
+               "scioto sim deadlock: %d unfinished rank(s), none runnable\n",
+               unfinished_);
+  for (Rank r = 0; r < cfg_.nranks; ++r) {
+    const RankState& st = ranks_[static_cast<std::size_t>(r)];
+    std::fprintf(stderr,
+                 "  rank %d: clock=%lld ns blocked=%d finished=%d "
+                 "ev_waiting=%d\n",
+                 r, static_cast<long long>(st.clock), st.blocked, st.finished,
+                 st.ev_waiting);
+  }
+  for (std::size_t i = 0; i < locks_.size(); ++i) {
+    if (locks_[i].held || !locks_[i].waiters.empty()) {
+      std::fprintf(stderr, "  lock %zu: holder=%d waiters=%zu\n", i,
+                   locks_[i].holder, locks_[i].waiters.size());
+    }
+  }
+  std::fflush(stderr);
+  SCIOTO_CHECK_MSG(false, "simulation deadlock");
+  std::abort();  // unreachable; fail() aborts
+}
+
+int Engine::lock_create() {
+  locks_.emplace_back();
+  return static_cast<int>(locks_.size() - 1);
+}
+
+void Engine::lock_acquire(int id) {
+  sync();
+  LockState& l = locks_[static_cast<std::size_t>(id)];
+  if (!l.held) {
+    l.held = true;
+    l.holder = current_;
+    return;
+  }
+  SCIOTO_CHECK_MSG(l.holder != current_,
+                   "rank " << current_ << " re-acquiring lock " << id);
+  l.waiters.push_back(current_);
+  block();
+  // Direct handoff: the releaser transferred ownership before waking us.
+  SCIOTO_CHECK(l.holder == current_);
+}
+
+bool Engine::lock_try(int id) {
+  sync();
+  LockState& l = locks_[static_cast<std::size_t>(id)];
+  if (l.held) {
+    return false;
+  }
+  l.held = true;
+  l.holder = current_;
+  return true;
+}
+
+void Engine::lock_release(int id) {
+  LockState& l = locks_[static_cast<std::size_t>(id)];
+  SCIOTO_CHECK_MSG(l.held && l.holder == current_,
+                   "rank " << current_ << " releasing lock " << id
+                           << " it does not hold");
+  if (l.waiters.empty()) {
+    l.held = false;
+    l.holder = kNoRank;
+    return;
+  }
+  Rank next = l.waiters.front();
+  l.waiters.pop_front();
+  l.holder = next;
+  // The waiter inherits the releaser's clock: this is the queueing delay
+  // that models contention on a shared queue's lock.
+  wake(next, cur().clock);
+}
+
+bool Engine::lock_held(int id) const {
+  return locks_[static_cast<std::size_t>(id)].held;
+}
+
+void Engine::idle_wait() {
+  sync();
+  RankState& st = cur();
+  if (st.ev_pending) {
+    st.ev_pending = false;
+    return;
+  }
+  st.ev_waiting = true;
+  block();
+  st.ev_waiting = false;
+  st.ev_pending = false;
+}
+
+void Engine::notify(Rank r, TimeNs deliver_at) {
+  RankState& st = ranks_[static_cast<std::size_t>(r)];
+  if (st.finished) {
+    return;
+  }
+  st.ev_pending = true;
+  if (st.ev_waiting) {
+    // Clear the flag here, not on resume: a second notify arriving before
+    // the woken fiber runs again must not wake it twice.
+    st.ev_waiting = false;
+    wake(r, deliver_at);
+  }
+}
+
+TimeNs Engine::rma_occupy(Rank target, TimeNs arrival_offset, TimeNs service) {
+  TimeNs arrival = cur().clock + arrival_offset;
+  TimeNs& busy = rma_busy_until_[static_cast<std::size_t>(target)];
+  TimeNs start = std::max(arrival, busy);
+  busy = start + service;
+  return busy;
+}
+
+void Engine::barrier(TimeNs total_cost) {
+  sync();
+  BarrierState& b = barrier_;
+  b.max_arrival = std::max(b.max_arrival, cur().clock);
+  b.max_cost = std::max(b.max_cost, total_cost);
+  ++b.arrived;
+  if (b.arrived < unfinished_) {
+    b.waiting.push_back(current_);
+    block();
+    return;
+  }
+  // Last arriver releases everyone at max(arrival) + cost.
+  TimeNs release = b.max_arrival + b.max_cost;
+  for (Rank r : b.waiting) {
+    wake(r, release);
+  }
+  b.waiting.clear();
+  b.arrived = 0;
+  b.max_arrival = 0;
+  b.max_cost = 0;
+  advance_to(release);
+}
+
+}  // namespace scioto::sim

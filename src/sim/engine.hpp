@@ -1,0 +1,164 @@
+// Conservative virtual-time execution engine.
+//
+// Every simulated process (rank) runs as a fiber with its own virtual
+// clock. A single scheduler always resumes the runnable fiber with the
+// smallest clock (ties broken by rank), so the execution is sequentially
+// consistent in virtual time and bit-deterministic. Fibers advance their
+// clocks by charging compute/communication costs and yield back to the
+// scheduler at synchronization points:
+//
+//   * sync()        -- re-enter the scheduler; resumed once minimal again.
+//   * charge()      -- add scaled compute cost; auto-syncs every
+//                      MachineModel::sync_quantum of accumulated run-ahead,
+//                      bounding how far a rank races ahead of its peers.
+//   * lock_*()      -- FIFO virtual-time mutexes with direct handoff; the
+//                      waiter inherits the releaser's clock, which is what
+//                      models contention on a victim's shared queue.
+//   * idle_wait()/notify() -- an eventcount per rank for blocking message
+//                      receive.
+//   * barrier()     -- all ranks meet; released at max(arrival) + cost.
+//   * rma_occupy()  -- serializes RMA operations through a per-target
+//                      service queue (NIC occupancy), which is what makes
+//                      a hot shared counter a bottleneck.
+//
+// The engine is strictly single-threaded; "shared memory" between ranks is
+// ordinary process memory touched only by the currently running fiber.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "base/types.hpp"
+#include "sim/fiber.hpp"
+#include "sim/machine.hpp"
+
+namespace scioto::sim {
+
+class Engine {
+ public:
+  struct Config {
+    int nranks = 1;
+    MachineModel machine;
+    std::size_t stack_bytes = 256 * 1024;
+  };
+
+  /// `rank_main(r)` is the SPMD body executed by each rank's fiber.
+  Engine(Config cfg, std::function<void(Rank)> rank_main);
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Runs all fibers to completion. Aborts with a state dump if the
+  /// simulation deadlocks (no runnable fiber but unfinished ranks remain).
+  void run();
+
+  // ---- Introspection ----
+  int nranks() const { return cfg_.nranks; }
+  const MachineModel& machine() const { return cfg_.machine; }
+  /// Rank of the currently executing fiber; kNoRank from outside run().
+  Rank current_rank() const { return current_; }
+  /// Virtual clock of the current rank.
+  TimeNs now() const;
+  TimeNs now(Rank r) const;
+  /// Compute-cost multiplier of rank r under the machine model.
+  double cpu_scale(Rank r) const { return cpu_scale_[static_cast<size_t>(r)]; }
+  /// Largest clock reached by any rank (the "makespan" after run()).
+  TimeNs max_clock() const;
+
+  // ---- Clock manipulation (current rank only) ----
+  /// Adds raw (unscaled) time without yielding; used for latency terms.
+  void advance_unsynced(TimeNs dt);
+  /// Adds compute time scaled by the rank's cpu_scale; yields to the
+  /// scheduler whenever accumulated run-ahead exceeds the sync quantum.
+  void charge(TimeNs dt);
+  /// Sets the clock forward to `t` (no-op if already past); does not yield.
+  void advance_to(TimeNs t);
+  /// Yields; resumed when this rank is again the minimum runnable clock.
+  void sync();
+
+  // ---- Virtual-time mutexes ----
+  int lock_create();
+  void lock_acquire(int id);
+  bool lock_try(int id);
+  void lock_release(int id);
+  /// True if the lock is currently held (by anyone).
+  bool lock_held(int id) const;
+
+  // ---- Eventcount (blocking notification) ----
+  /// Blocks the current rank until a notify() is pending, consuming it.
+  void idle_wait();
+  /// Makes rank r's next (or current) idle_wait return, no earlier than
+  /// virtual time `deliver_at`.
+  void notify(Rank r, TimeNs deliver_at);
+
+  // ---- RMA target occupancy ----
+  /// Reserves `service` time on target's RMA service queue starting no
+  /// earlier than the current rank's clock + `arrival_offset`; returns the
+  /// completion time. Does not modify the caller's clock.
+  TimeNs rma_occupy(Rank target, TimeNs arrival_offset, TimeNs service);
+
+  // ---- Collectives ----
+  /// Rendezvous of all unfinished ranks; everyone leaves with clock
+  /// max(arrival clocks) + total_cost.
+  void barrier(TimeNs total_cost);
+
+ private:
+  struct RankState {
+    std::unique_ptr<Fiber> fiber;
+    TimeNs clock = 0;
+    TimeNs last_sync_clock = 0;
+    bool blocked = false;
+    bool finished = false;
+    // Eventcount state.
+    bool ev_pending = false;
+    bool ev_waiting = false;
+  };
+
+  struct LockState {
+    bool held = false;
+    Rank holder = kNoRank;
+    std::deque<Rank> waiters;
+  };
+
+  struct BarrierState {
+    int arrived = 0;
+    TimeNs max_arrival = 0;
+    TimeNs max_cost = 0;
+    std::vector<Rank> waiting;
+  };
+
+  RankState& cur();
+  const RankState& cur() const;
+  /// Marks the current fiber blocked and yields; returns after wake().
+  void block();
+  /// Reschedules rank r at virtual time >= at.
+  void wake(Rank r, TimeNs at);
+  [[noreturn]] void report_deadlock();
+
+  Config cfg_;
+  std::function<void(Rank)> rank_main_;
+  std::vector<RankState> ranks_;
+  std::vector<double> cpu_scale_;
+  std::vector<LockState> locks_;
+  std::vector<TimeNs> rma_busy_until_;
+  BarrierState barrier_;
+  int unfinished_ = 0;
+
+  // Min-heap of (clock, rank) for runnable fibers.
+  using QEntry = std::pair<TimeNs, Rank>;
+  std::priority_queue<QEntry, std::vector<QEntry>, std::greater<QEntry>> runq_;
+  Rank current_ = kNoRank;
+  bool running_ = false;
+};
+
+/// Ambient access to the engine from inside rank code (set during run()).
+/// Null when no simulation is active on this thread.
+Engine* current_engine();
+
+}  // namespace scioto::sim

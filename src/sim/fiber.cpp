@@ -1,0 +1,51 @@
+#include "sim/fiber.hpp"
+
+#include "base/error.hpp"
+
+namespace scioto::sim {
+
+Fiber::Fiber(std::function<void()> fn, std::size_t stack_bytes)
+    : fn_(std::move(fn)), stack_(stack_bytes) {
+  SCIOTO_REQUIRE(stack_bytes >= 16 * 1024,
+                 "fiber stack too small: " << stack_bytes);
+}
+
+Fiber::~Fiber() {
+  // A fiber destroyed mid-flight simply abandons its stack; the engine
+  // guarantees fibers are either finished or never started at teardown.
+}
+
+void Fiber::trampoline(unsigned hi, unsigned lo) {
+  auto* self = reinterpret_cast<Fiber*>(
+      (static_cast<std::uintptr_t>(hi) << 32) | static_cast<std::uintptr_t>(lo));
+  self->run();
+}
+
+void Fiber::run() {
+  fn_();
+  finished_ = true;
+  // Returning from the makecontext entry point would terminate the process;
+  // uc_link is set to the host context, so just fall off the end.
+}
+
+void Fiber::resume() {
+  SCIOTO_CHECK(!finished_);
+  if (!started_) {
+    started_ = true;
+    SCIOTO_CHECK(getcontext(&ctx_) == 0);
+    ctx_.uc_stack.ss_sp = stack_.data();
+    ctx_.uc_stack.ss_size = stack_.size();
+    ctx_.uc_link = &host_;
+    auto p = reinterpret_cast<std::uintptr_t>(this);
+    makecontext(&ctx_, reinterpret_cast<void (*)()>(&Fiber::trampoline), 2,
+                static_cast<unsigned>(p >> 32),
+                static_cast<unsigned>(p & 0xFFFFFFFFu));
+  }
+  SCIOTO_CHECK(swapcontext(&host_, &ctx_) == 0);
+}
+
+void Fiber::yield() {
+  SCIOTO_CHECK(swapcontext(&ctx_, &host_) == 0);
+}
+
+}  // namespace scioto::sim

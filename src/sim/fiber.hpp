@@ -1,0 +1,54 @@
+// Stackful cooperative fibers built on POSIX ucontext.
+//
+// The virtual-time engine runs every simulated process ("rank") as a fiber
+// inside a single OS thread: execution is therefore deterministic, and up
+// to ~1024 ranks cost only their stacks. ucontext is obsolescent in POSIX
+// but fully supported by glibc; we isolate its use to this one translation
+// unit.
+#pragma once
+
+#include <ucontext.h>
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace scioto::sim {
+
+/// A single fiber: a function plus a private stack, cooperatively switched
+/// against a host (scheduler) context.
+class Fiber {
+ public:
+  /// `fn` runs when the fiber is first resumed. `stack_bytes` is the fiber
+  /// stack size; UTS and the apps use explicit work stacks, so 256 KiB is
+  /// ample by default.
+  Fiber(std::function<void()> fn, std::size_t stack_bytes);
+  ~Fiber();
+
+  Fiber(const Fiber&) = delete;
+  Fiber& operator=(const Fiber&) = delete;
+
+  /// Switch from the host context into this fiber. Returns when the fiber
+  /// yields or finishes.
+  void resume();
+
+  /// Called from inside the fiber: switch back to the host context.
+  void yield();
+
+  /// True once fn has returned.
+  bool finished() const { return finished_; }
+
+ private:
+  static void trampoline(unsigned hi, unsigned lo);
+  void run();
+
+  std::function<void()> fn_;
+  std::vector<char> stack_;
+  ucontext_t ctx_{};
+  ucontext_t host_{};
+  bool started_ = false;
+  bool finished_ = false;
+};
+
+}  // namespace scioto::sim

@@ -1,0 +1,95 @@
+#include "sim/machine.hpp"
+
+#include "base/error.hpp"
+
+namespace scioto::sim {
+
+MachineModel cluster2008() {
+  MachineModel m = cluster2008_uniform();
+  m.name = "cluster2008";
+  // Half Opteron 254 (nominal), half Xeon: the Xeons take 1.505x longer per
+  // UTS node (0.4753 us vs 0.3158 us, §6.3).
+  m.cpu_scale = [](Rank rank, int nranks) {
+    // First half Opteron, second half Xeon; odd counts (and the 1-proc
+    // baseline) round toward Opteron.
+    return rank < (nranks + 1) / 2 ? 1.0 : 1.505;
+  };
+  return m;
+}
+
+MachineModel cluster2008_uniform() {
+  MachineModel m;
+  m.name = "cluster2008-uniform";
+  // Calibrated against Table 1 (see bench_table1_ops): remote insert =
+  // 5 one-way latencies + 3 service slots + 1 kB wire time = 18.08 us,
+  // steal = the same control path + a 10-task chunk = 29.0 us.
+  m.rma_latency = ns(3129);
+  m.rma_service = ns(400);
+  m.rmw_service = ns(2000);  // host-assisted ARMCI atomics
+  m.bytes_per_ns = 0.85;  // effective ARMCI bandwidth on 10 Gb/s IB
+  m.local_insert = ns(495);
+  m.local_get = ns(361);
+  m.msg_latency = us(4.0);
+  m.msg_overhead = us(0.8);
+  m.poll = ns(250);
+  m.barrier_stage_mpi = us(3.2);
+  m.barrier_stage_armci = us(3.6);
+  return m;
+}
+
+MachineModel cray_xt4() {
+  MachineModel m;
+  m.name = "cray-xt4";
+  // SeaStar: higher short-message latency than IB verbs, higher bandwidth.
+  // Calibrated against Table 1's XT4 column (27.0 us insert / 32.4 steal).
+  m.rma_latency = ns(4980);
+  m.rma_service = ns(500);
+  m.rmw_service = ns(2200);
+  m.bytes_per_ns = 1.756;
+  // 2.6 GHz Opteron 285 with slower memory ops: Table 1 shows local queue
+  // ops roughly 2x the cluster's.
+  m.local_insert = ns(933);
+  m.local_get = ns(691);
+  m.msg_latency = us(5.4);
+  m.msg_overhead = us(1.0);
+  m.poll = ns(350);
+  m.barrier_stage_mpi = us(3.0);
+  m.barrier_stage_armci = us(3.3);
+  return m;
+}
+
+MachineModel multicore_cluster(int cores_per_node) {
+  MachineModel m = cluster2008_uniform();
+  m.name = "multicore-cluster-x" + std::to_string(cores_per_node);
+  m.cores_per_node = cores_per_node;
+  return m;
+}
+
+MachineModel test_machine() {
+  MachineModel m;
+  m.name = "test";
+  m.rma_latency = ns(300);
+  m.rma_service = ns(50);
+  m.rmw_service = ns(200);
+  m.bytes_per_ns = 8.0;
+  m.local_insert = ns(40);
+  m.local_get = ns(30);
+  m.msg_latency = ns(400);
+  m.msg_overhead = ns(100);
+  m.poll = ns(30);
+  m.barrier_stage_mpi = ns(400);
+  m.barrier_stage_armci = ns(450);
+  m.sync_quantum = us(2.0);
+  return m;
+}
+
+MachineModel machine_by_name(const std::string& name) {
+  if (name == "cluster") return cluster2008();
+  if (name == "cluster-uniform") return cluster2008_uniform();
+  if (name == "xt4") return cray_xt4();
+  if (name == "test") return test_machine();
+  throw Error("unknown machine model '" + name +
+              "' (expected cluster, cluster-uniform, xt4, or test)");
+}
+
+}  // namespace scioto::sim

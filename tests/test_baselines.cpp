@@ -1,0 +1,164 @@
+// Tests for the baseline schedulers: the replicated-list global counter
+// and two-sided MPI-style work stealing.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <mutex>
+#include <set>
+
+#include "baselines/global_counter.hpp"
+#include "baselines/mpi_ws.hpp"
+#include "test_util.hpp"
+
+namespace scioto {
+namespace {
+
+using pgas::BackendKind;
+using pgas::Runtime;
+
+class BaselineBackends : public ::testing::TestWithParam<BackendKind> {};
+
+TEST_P(BaselineBackends, CounterRunsEveryTaskOnce) {
+  constexpr std::int64_t kTasks = 321;
+  std::mutex m;
+  std::set<std::int64_t> done;
+  testing::run(5, GetParam(), [&](Runtime& rt) {
+    baselines::GlobalCounterScheduler sched(rt);
+    auto st = sched.process(kTasks, [&](std::int64_t t) {
+      std::lock_guard<std::mutex> g(m);
+      ASSERT_TRUE(done.insert(t).second) << "task " << t << " ran twice";
+    });
+    EXPECT_GE(st.tasks_executed, 0);
+    std::int64_t total = rt.allreduce_sum(st.tasks_executed);
+    EXPECT_EQ(total, kTasks);
+    sched.destroy();
+  });
+  EXPECT_EQ(done.size(), static_cast<std::size_t>(kTasks));
+}
+
+TEST_P(BaselineBackends, CounterReusableAcrossPhases) {
+  std::atomic<int> count{0};
+  testing::run(3, GetParam(), [&](Runtime& rt) {
+    baselines::GlobalCounterScheduler sched(rt);
+    for (int phase = 0; phase < 3; ++phase) {
+      sched.process(40, [&](std::int64_t) { count.fetch_add(1); });
+    }
+    sched.destroy();
+  });
+  EXPECT_EQ(count.load(), 120);
+}
+
+TEST_P(BaselineBackends, MpiWsProcessesSeededTasks) {
+  constexpr int kTasks = 100;
+  std::mutex m;
+  std::set<std::int64_t> done;
+  testing::run(4, GetParam(), [&](Runtime& rt) {
+    baselines::MpiWorkStealing::Config cfg;
+    cfg.task_bytes = sizeof(std::int64_t);
+    cfg.chunk = 4;
+    cfg.poll_interval = 2;
+    baselines::MpiWorkStealing ws(rt, cfg);
+    if (rt.me() == 0) {
+      for (std::int64_t i = 0; i < kTasks; ++i) {
+        ws.spawn(&i);
+      }
+    }
+    auto st = ws.process([&](const void* rec) {
+      std::int64_t id;
+      std::memcpy(&id, rec, sizeof(id));
+      std::lock_guard<std::mutex> g(m);
+      ASSERT_TRUE(done.insert(id).second);
+    });
+    std::int64_t total = rt.allreduce_sum(st.tasks_executed);
+    EXPECT_EQ(total, kTasks);
+  });
+  EXPECT_EQ(done.size(), static_cast<std::size_t>(kTasks));
+}
+
+TEST_P(BaselineBackends, MpiWsDynamicSpawning) {
+  // Seeded tasks spawn children recursively; totals must be exact.
+  struct Rec {
+    std::int64_t id;
+    std::int32_t depth;
+  };
+  std::atomic<std::int64_t> executed{0};
+  constexpr int kDepth = 6;
+  testing::run(3, GetParam(), [&](Runtime& rt) {
+    baselines::MpiWorkStealing::Config cfg;
+    cfg.task_bytes = sizeof(Rec);
+    cfg.chunk = 3;
+    cfg.poll_interval = 4;
+    baselines::MpiWorkStealing ws(rt, cfg);
+    baselines::MpiWorkStealing* wsp = &ws;
+    if (rt.me() == 0) {
+      Rec root{0, kDepth};
+      ws.spawn(&root);
+    }
+    ws.process([&, wsp](const void* rec) {
+      Rec r;
+      std::memcpy(&r, rec, sizeof(r));
+      executed.fetch_add(1);
+      if (r.depth > 0) {
+        Rec child{r.id * 2 + 1, r.depth - 1};
+        wsp->spawn(&child);
+        child.id = r.id * 2 + 2;
+        wsp->spawn(&child);
+      }
+    });
+  });
+  EXPECT_EQ(executed.load(), (1 << (kDepth + 1)) - 1);
+}
+
+TEST_P(BaselineBackends, MpiWsSingleRank) {
+  std::atomic<int> n{0};
+  testing::run(1, GetParam(), [&](Runtime& rt) {
+    baselines::MpiWorkStealing::Config cfg;
+    cfg.task_bytes = 8;
+    baselines::MpiWorkStealing ws(rt, cfg);
+    std::int64_t x = 1;
+    for (int i = 0; i < 10; ++i) ws.spawn(&x);
+    auto st = ws.process([&](const void*) { n.fetch_add(1); });
+    EXPECT_EQ(st.tasks_executed, 10);
+  });
+  EXPECT_EQ(n.load(), 10);
+}
+
+TEST(BaselineSim, CounterSpeedupSaturates) {
+  // The shared counter serializes through its home rank: with trivial task
+  // compute, adding ranks beyond the saturation point buys nothing (and
+  // contention can even make it slower). This is the mechanism behind the
+  // original TCE's flat scaling in Figures 5/6.
+  auto elapsed_for = [](int n) {
+    TimeNs t = 0;
+    testing::run_sim(n, [&](pgas::Runtime& rt) {
+      baselines::GlobalCounterScheduler sched(rt);
+      rt.barrier();
+      TimeNs t0 = rt.now();
+      sched.process(400, [&](std::int64_t) { rt.charge(100); });
+      TimeNs local = rt.now() - t0;
+      TimeNs mx = rt.allreduce_max(local);
+      if (rt.me() == 0) t = mx;
+      sched.destroy();
+    });
+    return t;
+  };
+  TimeNs t2 = elapsed_for(2);
+  TimeNs t16 = elapsed_for(16);
+  TimeNs t64 = elapsed_for(64);
+  // Early scaling exists...
+  EXPECT_LT(t16, t2);
+  // ...but 16 -> 64 ranks (4x resources) gains nothing: the counter is the
+  // bottleneck.
+  EXPECT_GT(t64, t16 * 9 / 10);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, BaselineBackends,
+                         ::testing::Values(BackendKind::Sim,
+                                           BackendKind::Threads),
+                         [](const auto& info) {
+                           return scioto::testing::backend_name(info.param);
+                         });
+
+}  // namespace
+}  // namespace scioto

@@ -1,0 +1,323 @@
+// Tests for the Global Arrays subset: distribution queries, patch
+// get/put/acc across owner boundaries, counters, and collectives.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "ga/counter.hpp"
+#include "ga/global_array.hpp"
+#include "test_util.hpp"
+
+namespace scioto {
+namespace {
+
+using pgas::BackendKind;
+using pgas::Runtime;
+
+class GaBackends : public ::testing::TestWithParam<BackendKind> {};
+
+TEST_P(GaBackends, DistributionCoversAllRowsExactlyOnce) {
+  testing::run(5, GetParam(), [&](Runtime& rt) {
+    ga::GlobalArray a(rt, 23, 7, "t");
+    std::int64_t covered = 0;
+    for (Rank r = 0; r < rt.nprocs(); ++r) {
+      EXPECT_LE(a.row_lo(r), a.row_hi(r));
+      covered += a.row_hi(r) - a.row_lo(r);
+      if (r > 0) {
+        EXPECT_EQ(a.row_lo(r), a.row_hi(r - 1));
+      }
+    }
+    EXPECT_EQ(covered, 23);
+    for (std::int64_t row = 0; row < 23; ++row) {
+      Rank o = a.owner_of_row(row);
+      EXPECT_GE(row, a.row_lo(o));
+      EXPECT_LT(row, a.row_hi(o));
+      EXPECT_EQ(a.owner_of_patch(row, 3), o);
+    }
+    a.destroy();
+  });
+}
+
+TEST_P(GaBackends, PutGetRoundTripAcrossOwners) {
+  testing::run(4, GetParam(), [&](Runtime& rt) {
+    ga::GlobalArray a(rt, 16, 8, "t");
+    if (rt.me() == 0) {
+      // A patch spanning several owners' panels.
+      std::vector<double> buf(10 * 5);
+      for (std::size_t i = 0; i < buf.size(); ++i) {
+        buf[i] = static_cast<double>(i) + 0.25;
+      }
+      a.put(3, 13, 2, 7, buf.data(), 5);
+    }
+    a.sync();
+    // Every rank reads it back identically.
+    std::vector<double> out(10 * 5, -1);
+    a.get(3, 13, 2, 7, out.data(), 5);
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      EXPECT_DOUBLE_EQ(out[i], static_cast<double>(i) + 0.25);
+    }
+    // Outside the patch stays zero.
+    EXPECT_DOUBLE_EQ(a.at(0, 0), 0.0);
+    EXPECT_DOUBLE_EQ(a.at(15, 7), 0.0);
+    a.sync();
+    a.destroy();
+  });
+}
+
+TEST_P(GaBackends, GetRespectsLeadingDimension) {
+  testing::run(2, GetParam(), [&](Runtime& rt) {
+    ga::GlobalArray a(rt, 6, 6, "t");
+    if (rt.me() == 0) {
+      std::vector<double> v(36);
+      for (int i = 0; i < 36; ++i) v[static_cast<std::size_t>(i)] = i;
+      a.put(0, 6, 0, 6, v.data(), 6);
+    }
+    a.sync();
+    // Read a 2x3 patch into a buffer with ld=10.
+    std::vector<double> out(2 * 10, -1);
+    a.get(2, 4, 1, 4, out.data(), 10);
+    EXPECT_DOUBLE_EQ(out[0], 13);  // (2,1)
+    EXPECT_DOUBLE_EQ(out[2], 15);  // (2,3)
+    EXPECT_DOUBLE_EQ(out[10], 19);  // (3,1)
+    EXPECT_DOUBLE_EQ(out[3], -1);  // padding untouched
+    a.sync();
+    a.destroy();
+  });
+}
+
+TEST_P(GaBackends, AccAccumulatesAtomically) {
+  constexpr int kIters = 50;
+  testing::run(4, GetParam(), [&](Runtime& rt) {
+    ga::GlobalArray a(rt, 12, 4, "t");
+    std::vector<double> one(12 * 4, 1.0);
+    for (int i = 0; i < kIters; ++i) {
+      a.acc(0, 12, 0, 4, one.data(), 4, 0.5);
+    }
+    a.sync();
+    EXPECT_DOUBLE_EQ(a.sum_all(), 0.5 * kIters * rt.nprocs() * 12 * 4);
+    a.sync();
+    a.destroy();
+  });
+}
+
+TEST_P(GaBackends, FillAndNorm) {
+  testing::run(3, GetParam(), [&](Runtime& rt) {
+    ga::GlobalArray a(rt, 9, 9, "t");
+    a.fill(2.0);
+    EXPECT_DOUBLE_EQ(a.sum_all(), 2.0 * 81);
+    EXPECT_DOUBLE_EQ(a.norm2(), 4.0 * 81);
+    a.destroy();
+  });
+}
+
+TEST_P(GaBackends, MoreRanksThanRows) {
+  // Some ranks own empty panels; everything must still work.
+  testing::run(6, GetParam(), [&](Runtime& rt) {
+    ga::GlobalArray a(rt, 3, 4, "t");
+    a.fill(1.0);
+    EXPECT_DOUBLE_EQ(a.sum_all(), 12.0);
+    std::vector<double> row(4);
+    a.get(1, 2, 0, 4, row.data(), 4);
+    EXPECT_DOUBLE_EQ(row[2], 1.0);
+    a.destroy();
+  });
+}
+
+TEST_P(GaBackends, SharedCounterTicketsAreDense) {
+  testing::run(4, GetParam(), [&](Runtime& rt) {
+    ga::SharedCounter c(rt, /*home=*/2);
+    std::int64_t sum = 0;
+    int drawn = 0;
+    for (;;) {
+      std::int64_t t = c.next();
+      if (t >= 100) break;
+      sum += t;
+      ++drawn;
+    }
+    std::int64_t total_sum = rt.allreduce_sum(sum);
+    std::int64_t total_drawn = rt.allreduce_sum<std::int64_t>(drawn);
+    EXPECT_EQ(total_sum, 99 * 100 / 2);
+    EXPECT_EQ(total_drawn, 100);
+    c.destroy();
+  });
+}
+
+TEST_P(GaBackends, SharedCounterReset) {
+  testing::run(2, GetParam(), [&](Runtime& rt) {
+    ga::SharedCounter c(rt);
+    c.next(5);
+    rt.barrier();
+    c.reset(7);
+    EXPECT_GE(c.peek(), 7);
+    c.destroy();
+  });
+}
+
+TEST_P(GaBackends, InvalidArgumentsThrow) {
+  testing::run(2, GetParam(), [&](Runtime& rt) {
+    ga::GlobalArray a(rt, 8, 8, "t");
+    std::vector<double> buf(64);
+    // Bad column range.
+    EXPECT_THROW(a.get(0, 2, 5, 3, buf.data(), 8), Error);
+    // Leading dimension too small.
+    EXPECT_THROW(a.get(0, 2, 0, 8, buf.data(), 4), Error);
+    // Column range out of bounds.
+    EXPECT_THROW(a.put(0, 2, 0, 9, buf.data(), 9), Error);
+    rt.barrier();
+    a.destroy();
+    // Double destroy.
+    EXPECT_THROW(a.destroy(), Error);
+  });
+}
+
+TEST_P(GaBackends, BadRowSplitRejected) {
+  testing::run(2, GetParam(), [&](Runtime& rt) {
+    // Wrong arity / coverage must be rejected before allocation... but the
+    // constructor is collective, so exercise the validation on every rank
+    // with matching bad input.
+    bool threw = false;
+    try {
+      ga::GlobalArray a(rt, 10, 4, {0, 5}, "bad");  // needs nprocs+1 = 3
+    } catch (const Error&) {
+      threw = true;
+    }
+    EXPECT_TRUE(threw);
+  });
+}
+
+TEST_P(GaBackends, ElementwiseOps) {
+  testing::run(3, GetParam(), [&](Runtime& rt) {
+    ga::GlobalArray a(rt, 10, 5, "a");
+    ga::GlobalArray b(rt, 10, 5, "b");
+    a.fill(2.0);
+    b.fill(3.0);
+    a.scale(2.0);                      // a = 4
+    EXPECT_DOUBLE_EQ(a.sum_all(), 4.0 * 50);
+    a.add(b, 2.0);                     // a = 4 + 2*3 = 10
+    EXPECT_DOUBLE_EQ(a.sum_all(), 10.0 * 50);
+    EXPECT_DOUBLE_EQ(a.dot(b), 10.0 * 3.0 * 50);
+    EXPECT_DOUBLE_EQ(a.max_abs(), 10.0);
+    b.copy_from(a);
+    EXPECT_DOUBLE_EQ(b.sum_all(), 10.0 * 50);
+    b.destroy();
+    a.destroy();
+  });
+}
+
+TEST_P(GaBackends, TransposeRoundTrip) {
+  testing::run(4, GetParam(), [&](Runtime& rt) {
+    ga::GlobalArray a(rt, 7, 11, "a");
+    ga::GlobalArray at(rt, 11, 7, "at");
+    ga::GlobalArray att(rt, 7, 11, "att");
+    // Fill a with a distinguishable pattern.
+    rt.barrier();
+    for (std::int64_t i = a.row_lo(rt.me()); i < a.row_hi(rt.me()); ++i) {
+      for (std::int64_t j = 0; j < 11; ++j) {
+        a.local_panel()[(i - a.row_lo(rt.me())) * 11 + j] =
+            static_cast<double>(100 * i + j);
+      }
+    }
+    a.transpose_to(at);
+    EXPECT_DOUBLE_EQ(at.at(3, 2), 100 * 2 + 3);
+    EXPECT_DOUBLE_EQ(at.at(10, 6), 100 * 6 + 10);
+    at.transpose_to(att);
+    // Double transpose restores the original.
+    double err = 0;
+    for (std::int64_t i = att.row_lo(rt.me()); i < att.row_hi(rt.me());
+         ++i) {
+      for (std::int64_t j = 0; j < 11; ++j) {
+        err = std::max(err,
+                       std::abs(att.local_panel()[(i - att.row_lo(rt.me())) *
+                                                      11 +
+                                                  j] -
+                                static_cast<double>(100 * i + j)));
+      }
+    }
+    EXPECT_DOUBLE_EQ(rt.allreduce_max(err), 0.0);
+    att.destroy();
+    at.destroy();
+    a.destroy();
+  });
+}
+
+TEST_P(GaBackends, NonConformableOpsThrow) {
+  testing::run(2, GetParam(), [&](Runtime& rt) {
+    ga::GlobalArray a(rt, 6, 4, "a");
+    ga::GlobalArray b(rt, 4, 6, "b");
+    EXPECT_THROW(a.add(b), Error);
+    EXPECT_THROW(a.dot(b), Error);
+    EXPECT_THROW(a.copy_from(b), Error);
+    EXPECT_THROW(a.transpose_to(a), Error);
+    rt.barrier();
+    b.destroy();
+    a.destroy();
+  });
+}
+
+TEST(GaSplit, BlockAlignedSplitRespectsBoundaries) {
+  // Blocks of sizes 5, 3, 8, 2, 6, 4 (total 28) over 3 ranks.
+  std::vector<std::int64_t> off = {0, 5, 8, 16, 18, 24, 28};
+  for (int nranks : {1, 2, 3, 4, 6, 10}) {
+    auto split = ga::block_aligned_split(off, nranks);
+    ASSERT_EQ(split.size(), static_cast<std::size_t>(nranks) + 1);
+    EXPECT_EQ(split.front(), 0);
+    EXPECT_EQ(split.back(), 28);
+    for (int r = 0; r < nranks; ++r) {
+      EXPECT_LE(split[static_cast<std::size_t>(r)],
+                split[static_cast<std::size_t>(r) + 1]);
+      // Every interior boundary must be a block boundary.
+      bool on_boundary = false;
+      for (std::int64_t b : off) {
+        if (b == split[static_cast<std::size_t>(r)]) on_boundary = true;
+      }
+      EXPECT_TRUE(on_boundary) << "split " << split[static_cast<std::size_t>(r)]
+                               << " cuts a block (nranks=" << nranks << ")";
+    }
+  }
+}
+
+TEST(GaSplit, BlockAlignedSplitBalancesRows) {
+  // Many equal blocks: the split should be near-even.
+  std::vector<std::int64_t> off;
+  for (int b = 0; b <= 100; ++b) {
+    off.push_back(4 * b);
+  }
+  auto split = ga::block_aligned_split(off, 8);
+  for (int r = 0; r < 8; ++r) {
+    std::int64_t rows = split[static_cast<std::size_t>(r) + 1] -
+                        split[static_cast<std::size_t>(r)];
+    EXPECT_GE(rows, 44);  // 400/8 = 50 +- one block
+    EXPECT_LE(rows, 56);
+  }
+}
+
+TEST_P(GaBackends, CustomSplitDistribution) {
+  testing::run(3, GetParam(), [&](Runtime& rt) {
+    std::vector<std::int64_t> split = {0, 2, 2, 9};  // rank 1 owns nothing
+    ga::GlobalArray a(rt, 9, 3, split, "t");
+    EXPECT_EQ(a.row_lo(1), 2);
+    EXPECT_EQ(a.row_hi(1), 2);
+    EXPECT_EQ(a.owner_of_row(0), 0);
+    EXPECT_EQ(a.owner_of_row(2), 2);
+    EXPECT_EQ(a.owner_of_row(8), 2);
+    a.fill(3.0);
+    EXPECT_DOUBLE_EQ(a.sum_all(), 3.0 * 27);
+    // Patch spanning the empty rank's position works.
+    std::vector<double> buf(9 * 3);
+    a.get(0, 9, 0, 3, buf.data(), 3);
+    for (double v : buf) {
+      EXPECT_DOUBLE_EQ(v, 3.0);
+    }
+    a.destroy();
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, GaBackends,
+                         ::testing::Values(BackendKind::Sim,
+                                           BackendKind::Threads),
+                         [](const auto& info) {
+                           return scioto::testing::backend_name(info.param);
+                         });
+
+}  // namespace
+}  // namespace scioto

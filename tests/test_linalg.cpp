@@ -1,0 +1,116 @@
+// Tests for the dense linear-algebra substrate.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "base/linalg.hpp"
+#include "base/rng.hpp"
+
+namespace scioto {
+namespace {
+
+TEST(Linalg, MatmulSmallKnown) {
+  // [1 2; 3 4] * [5 6; 7 8] = [19 22; 43 50]
+  double a[] = {1, 2, 3, 4};
+  double b[] = {5, 6, 7, 8};
+  double c[4];
+  matmul(a, b, c, 2, 2, 2);
+  EXPECT_DOUBLE_EQ(c[0], 19);
+  EXPECT_DOUBLE_EQ(c[1], 22);
+  EXPECT_DOUBLE_EQ(c[2], 43);
+  EXPECT_DOUBLE_EQ(c[3], 50);
+}
+
+TEST(Linalg, MatmulRectangular) {
+  // (2x3) * (3x1)
+  double a[] = {1, 0, 2, 0, 3, 1};
+  double b[] = {4, 5, 6};
+  double c[2];
+  matmul(a, b, c, 2, 3, 1);
+  EXPECT_DOUBLE_EQ(c[0], 16);
+  EXPECT_DOUBLE_EQ(c[1], 21);
+}
+
+TEST(Linalg, Frobenius) {
+  double a[] = {3, 4, 0, 0};
+  EXPECT_DOUBLE_EQ(frobenius(a, 2, 2), 5.0);
+}
+
+TEST(Linalg, JacobiDiagonalMatrix) {
+  std::vector<double> a = {3, 0, 0, 0, 1, 0, 0, 0, 2};
+  std::vector<double> w, v;
+  jacobi_eigensymm(a, 3, w, v);
+  EXPECT_NEAR(w[0], 1, 1e-12);
+  EXPECT_NEAR(w[1], 2, 1e-12);
+  EXPECT_NEAR(w[2], 3, 1e-12);
+}
+
+TEST(Linalg, JacobiKnown2x2) {
+  // [[2,1],[1,2]] has eigenvalues 1 and 3.
+  std::vector<double> a = {2, 1, 1, 2};
+  std::vector<double> w, v;
+  jacobi_eigensymm(a, 2, w, v);
+  EXPECT_NEAR(w[0], 1.0, 1e-12);
+  EXPECT_NEAR(w[1], 3.0, 1e-12);
+  // Eigenvector for lambda=1 is ~(1,-1)/sqrt(2).
+  EXPECT_NEAR(std::abs(v[0]), 1.0 / std::sqrt(2.0), 1e-10);
+}
+
+TEST(Linalg, JacobiReconstructsRandomSymmetric) {
+  constexpr std::int64_t n = 40;
+  Xoshiro256 rng(11);
+  std::vector<double> a(n * n);
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t j = 0; j <= i; ++j) {
+      double x = rng.uniform(-1, 1);
+      a[static_cast<std::size_t>(i * n + j)] = x;
+      a[static_cast<std::size_t>(j * n + i)] = x;
+    }
+  }
+  std::vector<double> w, v;
+  jacobi_eigensymm(a, n, w, v);
+
+  // Eigenvalues sorted ascending.
+  for (std::int64_t i = 1; i < n; ++i) {
+    EXPECT_LE(w[static_cast<std::size_t>(i - 1)],
+              w[static_cast<std::size_t>(i)]);
+  }
+  // A * v_col ~= w * v_col for every column.
+  for (std::int64_t col = 0; col < n; ++col) {
+    for (std::int64_t i = 0; i < n; ++i) {
+      double av = 0;
+      for (std::int64_t j = 0; j < n; ++j) {
+        av += a[static_cast<std::size_t>(i * n + j)] *
+              v[static_cast<std::size_t>(j * n + col)];
+      }
+      EXPECT_NEAR(av,
+                  w[static_cast<std::size_t>(col)] *
+                      v[static_cast<std::size_t>(i * n + col)],
+                  1e-8);
+    }
+  }
+  // Orthonormal eigenvectors.
+  for (std::int64_t c1 = 0; c1 < 5; ++c1) {
+    for (std::int64_t c2 = 0; c2 < 5; ++c2) {
+      double dot = 0;
+      for (std::int64_t i = 0; i < n; ++i) {
+        dot += v[static_cast<std::size_t>(i * n + c1)] *
+               v[static_cast<std::size_t>(i * n + c2)];
+      }
+      EXPECT_NEAR(dot, c1 == c2 ? 1.0 : 0.0, 1e-10);
+    }
+  }
+}
+
+TEST(Linalg, JacobiDeterministic) {
+  std::vector<double> a = {4, 1, 2, 1, 3, 0.5, 2, 0.5, 5};
+  std::vector<double> w1, v1, w2, v2;
+  jacobi_eigensymm(a, 3, w1, v1);
+  jacobi_eigensymm(a, 3, w2, v2);
+  EXPECT_EQ(w1, w2);
+  EXPECT_EQ(v1, v2);
+}
+
+}  // namespace
+}  // namespace scioto

@@ -1,0 +1,102 @@
+// Tests for initial task-placement strategies (§8 extension).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "scioto/placement.hpp"
+#include "scioto/task_collection.hpp"
+#include "test_util.hpp"
+
+namespace scioto {
+namespace {
+
+using pgas::BackendKind;
+using pgas::Runtime;
+
+TEST(Placement, RoundRobinCyclesRanks) {
+  auto p = round_robin_placement();
+  for (std::int64_t i = 0; i < 20; ++i) {
+    Placement pl = p(i, 20, 4);
+    EXPECT_EQ(pl.rank, i % 4);
+    EXPECT_EQ(pl.affinity, kAffinityHigh);
+  }
+}
+
+TEST(Placement, BlockedAssignsContiguousSlabs) {
+  auto p = blocked_placement();
+  std::vector<int> counts(4, 0);
+  Rank prev = 0;
+  for (std::int64_t i = 0; i < 100; ++i) {
+    Placement pl = p(i, 100, 4);
+    EXPECT_GE(pl.rank, prev);  // monotone -> contiguous slabs
+    prev = pl.rank;
+    counts[static_cast<std::size_t>(pl.rank)]++;
+  }
+  for (int c : counts) {
+    EXPECT_EQ(c, 25);
+  }
+}
+
+TEST(Placement, RandomIsDeterministicInSeedAndCoversRanks) {
+  auto a = random_placement(7);
+  auto b = random_placement(7);
+  std::vector<int> counts(8, 0);
+  for (std::int64_t i = 0; i < 400; ++i) {
+    Placement pa = a(i, 400, 8);
+    Placement pb = b(i, 400, 8);
+    EXPECT_EQ(pa.rank, pb.rank);
+    EXPECT_EQ(pa.affinity, kAffinityLow);
+    counts[static_cast<std::size_t>(pa.rank)]++;
+  }
+  for (int c : counts) {
+    EXPECT_GT(c, 10);  // all ranks hit
+  }
+}
+
+TEST(Placement, OwnerFollowsCallback) {
+  auto p = owner_placement([](std::int64_t i) {
+    return static_cast<Rank>((i * i) % 3);
+  });
+  EXPECT_EQ(p(5, 100, 3).rank, 25 % 3);
+  EXPECT_EQ(p(5, 100, 3).affinity, kAffinityHigh);
+}
+
+class PlacementBackends : public ::testing::TestWithParam<BackendKind> {};
+
+TEST_P(PlacementBackends, SeedingThroughStrategiesExecutesEverything) {
+  constexpr std::int64_t kTasks = 120;
+  for (int strategy = 0; strategy < 3; ++strategy) {
+    std::atomic<std::int64_t> executed{0};
+    testing::run(4, GetParam(), [&](Runtime& rt) {
+      TaskCollection tc(rt);
+      TaskHandle h =
+          tc.register_callback([&](TaskContext&) { executed.fetch_add(1); });
+      PlacementFn place = strategy == 0   ? round_robin_placement()
+                          : strategy == 1 ? blocked_placement()
+                                          : random_placement(11);
+      Task t = tc.task_create(0, h);
+      // Rank 0 seeds everything through the strategy (remote adds move
+      // descriptors one-sided).
+      if (rt.me() == 0) {
+        for (std::int64_t i = 0; i < kTasks; ++i) {
+          Placement pl = place(i, kTasks, rt.nprocs());
+          tc.add(pl.rank, pl.affinity, t);
+        }
+      }
+      tc.process();
+      tc.destroy();
+    });
+    EXPECT_EQ(executed.load(), kTasks) << "strategy " << strategy;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, PlacementBackends,
+                         ::testing::Values(BackendKind::Sim,
+                                           BackendKind::Threads),
+                         [](const auto& info) {
+                           return scioto::testing::backend_name(info.param);
+                         });
+
+}  // namespace
+}  // namespace scioto

@@ -1,0 +1,290 @@
+// Tests for the virtual-time engine: fibers, min-clock scheduling,
+// determinism, locks with queueing-delay handoff, barriers, eventcounts,
+// and RMA target occupancy.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "base/error.hpp"
+#include "sim/engine.hpp"
+#include "sim/fiber.hpp"
+#include "sim/machine.hpp"
+
+namespace scioto::sim {
+namespace {
+
+Engine::Config cfg(int n) {
+  Engine::Config c;
+  c.nranks = n;
+  c.machine = test_machine();
+  return c;
+}
+
+TEST(Fiber, RunsAndFinishes) {
+  int calls = 0;
+  Fiber f([&] { ++calls; }, 64 * 1024);
+  EXPECT_FALSE(f.finished());
+  f.resume();
+  EXPECT_TRUE(f.finished());
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(Fiber, YieldSuspendsAndResumes) {
+  std::vector<int> order;
+  Fiber* self = nullptr;
+  Fiber f(
+      [&] {
+        order.push_back(1);
+        self->yield();
+        order.push_back(3);
+      },
+      64 * 1024);
+  self = &f;
+  f.resume();
+  order.push_back(2);
+  f.resume();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_TRUE(f.finished());
+}
+
+TEST(Engine, ClocksAdvanceIndependently) {
+  std::vector<TimeNs> final_clock(3);
+  Engine e(cfg(3), [&](Rank r) {
+    Engine* eng = current_engine();
+    eng->charge((r + 1) * 1000);
+    final_clock[static_cast<std::size_t>(r)] = eng->now();
+  });
+  e.run();
+  EXPECT_EQ(final_clock[0], 1000);
+  EXPECT_EQ(final_clock[1], 2000);
+  EXPECT_EQ(final_clock[2], 3000);
+  EXPECT_EQ(e.max_clock(), 3000);
+}
+
+TEST(Engine, MinClockSchedulingOrder) {
+  // Each rank stamps a shared log at sync points; the interleaving must be
+  // in virtual-time order.
+  std::vector<std::pair<TimeNs, Rank>> log;
+  Engine e(cfg(4), [&](Rank r) {
+    Engine* eng = current_engine();
+    for (int i = 0; i < 5; ++i) {
+      eng->charge(100 + 37 * r);
+      eng->sync();
+      log.emplace_back(eng->now(), r);
+    }
+  });
+  e.run();
+  for (std::size_t i = 1; i < log.size(); ++i) {
+    EXPECT_LE(log[i - 1].first, log[i].first)
+        << "out-of-order execution at step " << i;
+  }
+}
+
+TEST(Engine, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    std::vector<std::pair<TimeNs, Rank>> log;
+    Engine e(cfg(5), [&](Rank r) {
+      Engine* eng = current_engine();
+      for (int i = 0; i < 20; ++i) {
+        eng->charge(50 + (r * 13 + i * 7) % 90);
+        eng->sync();
+        log.emplace_back(eng->now(), r);
+      }
+    });
+    e.run();
+    return log;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(Engine, CpuScaleAppliesToCharges) {
+  Engine::Config c = cfg(2);
+  c.machine.cpu_scale = [](Rank r, int) { return r == 0 ? 1.0 : 2.0; };
+  std::vector<TimeNs> t(2);
+  Engine e(c, [&](Rank r) {
+    Engine* eng = current_engine();
+    eng->charge(1000);
+    t[static_cast<std::size_t>(r)] = eng->now();
+  });
+  e.run();
+  EXPECT_EQ(t[0], 1000);
+  EXPECT_EQ(t[1], 2000);
+}
+
+TEST(Engine, LockHandoffModelsQueueingDelay) {
+  // Rank 0 grabs the lock at t=0 and holds it until t=1000; rank 1
+  // requests it at t=10 and must observe clock >= 1000 when granted.
+  std::vector<TimeNs> granted(2);
+  int lock_id = -1;
+  Engine e(cfg(2), [&](Rank r) {
+    Engine* eng = current_engine();
+    if (r == 0) {
+      lock_id = eng->lock_create();
+      eng->lock_acquire(lock_id);
+      eng->charge(1000);
+      eng->sync();
+      eng->lock_release(lock_id);
+    } else {
+      eng->charge(10);  // let rank 0 create + acquire first (t0 < t1 start)
+      eng->sync();
+      eng->lock_acquire(lock_id);
+      granted[1] = eng->now();
+      eng->lock_release(lock_id);
+    }
+  });
+  e.run();
+  EXPECT_GE(granted[1], 1000);
+}
+
+TEST(Engine, TryLockFailsWhenHeld) {
+  bool second_got = true;
+  int lock_id = -1;
+  Engine e(cfg(2), [&](Rank r) {
+    Engine* eng = current_engine();
+    if (r == 0) {
+      lock_id = eng->lock_create();
+      eng->lock_acquire(lock_id);
+      eng->charge(5000);
+      eng->sync();
+      eng->lock_release(lock_id);
+    } else {
+      eng->charge(100);
+      second_got = eng->lock_try(lock_id);
+    }
+  });
+  e.run();
+  EXPECT_FALSE(second_got);
+}
+
+TEST(Engine, BarrierReleasesAtMaxArrivalPlusCost) {
+  std::vector<TimeNs> after(4);
+  Engine e(cfg(4), [&](Rank r) {
+    Engine* eng = current_engine();
+    eng->charge(100 * (r + 1));  // arrivals at 100..400
+    eng->barrier(500);
+    after[static_cast<std::size_t>(r)] = eng->now();
+  });
+  e.run();
+  for (TimeNs t : after) {
+    EXPECT_EQ(t, 900);  // max arrival 400 + cost 500
+  }
+}
+
+TEST(Engine, RepeatedBarriers) {
+  int rounds = 0;
+  Engine e(cfg(3), [&](Rank r) {
+    Engine* eng = current_engine();
+    for (int i = 0; i < 10; ++i) {
+      eng->charge(10 * (r + 1));
+      eng->barrier(100);
+      if (r == 0) ++rounds;
+    }
+  });
+  e.run();
+  EXPECT_EQ(rounds, 10);
+}
+
+TEST(Engine, EventcountWakesBlockedRank) {
+  TimeNs woke_at = 0;
+  Engine e(cfg(2), [&](Rank r) {
+    Engine* eng = current_engine();
+    if (r == 0) {
+      eng->idle_wait();
+      woke_at = eng->now();
+    } else {
+      eng->charge(700);
+      eng->notify(0, eng->now() + 50);
+    }
+  });
+  e.run();
+  EXPECT_EQ(woke_at, 750);
+}
+
+TEST(Engine, EventcountPendingConsumedWithoutBlocking) {
+  bool done = false;
+  Engine e(cfg(2), [&](Rank r) {
+    Engine* eng = current_engine();
+    if (r == 1) {
+      eng->notify(0, 0);
+    } else {
+      eng->charge(500);  // notify lands before we wait
+      eng->sync();
+      eng->idle_wait();  // must not deadlock
+      done = true;
+    }
+  });
+  e.run();
+  EXPECT_TRUE(done);
+}
+
+TEST(Engine, RmaOccupySerializesPerTarget) {
+  // Two ranks fire RMAs at target rank 0 at the same virtual time; the
+  // second to be serviced must queue behind the first.
+  std::vector<TimeNs> done(3);
+  Engine e(cfg(3), [&](Rank r) {
+    Engine* eng = current_engine();
+    if (r == 0) return;
+    eng->sync();
+    done[static_cast<std::size_t>(r)] =
+        eng->rma_occupy(/*target=*/0, /*arrival_offset=*/100,
+                        /*service=*/1000);
+  });
+  e.run();
+  TimeNs first = std::min(done[1], done[2]);
+  TimeNs second = std::max(done[1], done[2]);
+  EXPECT_EQ(first, 1100);
+  EXPECT_EQ(second, 2100);
+}
+
+TEST(Engine, SyncQuantumBoundsRunAhead) {
+  // With a tiny quantum, charge() must yield frequently: interleavings of
+  // two equal-speed ranks stay within one quantum of each other.
+  Engine::Config c = cfg(2);
+  c.machine.sync_quantum = 100;
+  TimeNs max_skew = 0;
+  Engine e(c, [&](Rank r) {
+    Engine* eng = current_engine();
+    for (int i = 0; i < 50; ++i) {
+      eng->charge(30);
+      TimeNs other = eng->now(1 - r);
+      max_skew = std::max(max_skew, eng->now() - other);
+    }
+  });
+  e.run();
+  // A rank can be ahead at most ~quantum + one charge.
+  EXPECT_LE(max_skew, 200);
+}
+
+TEST(Engine, DeadlockDetectionAborts) {
+  EXPECT_DEATH(
+      {
+        Engine e(cfg(2), [&](Rank) { current_engine()->idle_wait(); });
+        e.run();
+      },
+      "deadlock");
+}
+
+TEST(Machine, PresetsResolveByName) {
+  EXPECT_EQ(machine_by_name("cluster").name, "cluster2008");
+  EXPECT_EQ(machine_by_name("xt4").name, "cray-xt4");
+  EXPECT_EQ(machine_by_name("test").name, "test");
+  EXPECT_THROW(machine_by_name("nonesuch"), ::scioto::Error);
+}
+
+TEST(Machine, HeterogeneousClusterIsHalfAndHalf) {
+  MachineModel m = machine_by_name("cluster");
+  EXPECT_DOUBLE_EQ(m.cpu_scale(0, 64), 1.0);
+  EXPECT_DOUBLE_EQ(m.cpu_scale(31, 64), 1.0);
+  // Xeon nodes are 0.4753us / 0.3158us = 1.505x slower per UTS node (§6.3).
+  EXPECT_NEAR(m.cpu_scale(32, 64), 1.505, 1e-9);
+  EXPECT_NEAR(m.cpu_scale(63, 64), 1.505, 1e-9);
+}
+
+TEST(Machine, TransferTimeUsesBandwidth) {
+  MachineModel m;
+  m.bytes_per_ns = 2.0;
+  EXPECT_EQ(m.transfer_time(2000), 1000);
+}
+
+}  // namespace
+}  // namespace scioto::sim
