@@ -17,6 +17,8 @@
 #include "base/table.hpp"
 #include "pgas/runtime.hpp"
 #include "scioto/task_collection.hpp"
+#include "trace/export.hpp"
+#include "trace/trace.hpp"
 
 using namespace scioto;
 
@@ -29,13 +31,17 @@ struct Fig4Row {
   double mpi_us;
 };
 
-Fig4Row measure(int procs, int trials) {
+Fig4Row measure(int procs, int trials, const std::string& trace_file = "") {
   Fig4Row row{procs, 0, 0, 0};
   pgas::Config cfg;
   cfg.nranks = procs;
   cfg.backend = pgas::BackendKind::Sim;
   cfg.machine = sim::cluster2008_uniform();
 
+  const bool tracing = !trace_file.empty();
+  if (tracing) {
+    trace::start(procs);
+  }
   pgas::run_spmd(cfg, [&](pgas::Runtime& rt) {
     // --- Scioto termination detection after a single no-op task ---
     TcConfig tcc;
@@ -81,6 +87,12 @@ Fig4Row measure(int procs, int trials) {
       row.mpi_us = mpi.mean();
     }
   });
+  if (tracing) {
+    if (trace::write_chrome_trace_file(trace_file)) {
+      std::printf("trace: wrote %s (%d ranks)\n", trace_file.c_str(), procs);
+    }
+    trace::stop();
+  }
   return row;
 }
 
@@ -91,6 +103,9 @@ int main(int argc, char** argv) {
                "Figure 4: termination detection vs barriers");
   opts.add_int("trials", 10, "trials per point");
   opts.add_int("max-procs", 64, "largest process count");
+  opts.add_string("trace", "",
+                  "write a Chrome trace JSON of the max-procs run (token "
+                  "waves, votes, barriers) to this file");
   if (!opts.parse(argc, argv)) return 0;
   const int trials = static_cast<int>(opts.get_int("trials"));
   const int maxp = static_cast<int>(opts.get_int("max-procs"));
@@ -98,7 +113,9 @@ int main(int argc, char** argv) {
   Table t({"Procs", "Scioto-Termination(us)", "ARMCI-Barrier(us)",
            "MPI-Barrier(us)", "Term/Barrier", "Wave/Barrier"});
   for (int p = 1; p <= maxp; p *= 2) {
-    Fig4Row r = measure(p, trials);
+    const std::string trace_file =
+        p == maxp ? opts.get_string("trace") : std::string();
+    Fig4Row r = measure(p, trials, trace_file);
     double ratio = r.mpi_us > 0 ? r.term_us / r.mpi_us : 0;
     // tc_process includes one mandatory phase-entry barrier; the second
     // ratio isolates the detection wave itself, which is what the paper's

@@ -17,6 +17,8 @@
 #include "apps/uts/uts_drivers.hpp"
 #include "base/options.hpp"
 #include "base/table.hpp"
+#include "trace/export.hpp"
+#include "trace/trace.hpp"
 
 using namespace scioto;
 using namespace scioto::apps;
@@ -24,16 +26,26 @@ using namespace scioto::apps;
 namespace {
 
 UtsResult run_one(int procs, const UtsParams& tree, const UtsRunConfig& rc,
-                  bool mpi_ws) {
+                  bool mpi_ws, const std::string& trace_file = "") {
   pgas::Config cfg;
   cfg.nranks = procs;
   cfg.backend = pgas::BackendKind::Sim;
   cfg.machine = sim::cluster2008();  // heterogeneous: half Opteron half Xeon
+  const bool tracing = !trace_file.empty();
+  if (tracing) {
+    trace::start(procs);
+  }
   UtsResult res;
   pgas::run_spmd(cfg, [&](pgas::Runtime& rt) {
     res = mpi_ws ? uts_run_mpi_ws(rt, tree, rc)
                  : uts_run_scioto(rt, tree, rc);
   });
+  if (tracing) {
+    if (trace::write_chrome_trace_file(trace_file)) {
+      std::printf("trace: wrote %s (%d ranks)\n", trace_file.c_str(), procs);
+    }
+    trace::stop();
+  }
   return res;
 }
 
@@ -45,6 +57,9 @@ int main(int argc, char** argv) {
   opts.add_int("scale", 11, "geometric tree depth (gen_mx); 11 ~= 408k nodes");
   opts.add_int("max-procs", 64, "largest process count");
   opts.add_int("chunk", 10, "steal chunk size");
+  opts.add_string("trace", "",
+                  "write a Chrome trace JSON of the split-queue run at "
+                  "max-procs to this file");
   if (!opts.parse(argc, argv)) return 0;
 
   UtsParams tree = uts_bench();
@@ -61,7 +76,9 @@ int main(int argc, char** argv) {
   const int maxp = static_cast<int>(opts.get_int("max-procs"));
   for (int p = 2; p <= maxp; p *= 2) {
     UtsRunConfig split_rc = rc;
-    UtsResult split = run_one(p, tree, split_rc, /*mpi_ws=*/false);
+    const std::string trace_file =
+        p == maxp ? opts.get_string("trace") : std::string();
+    UtsResult split = run_one(p, tree, split_rc, /*mpi_ws=*/false, trace_file);
     SCIOTO_CHECK_MSG(split.counts == expected, "split traversal mismatch");
 
     UtsResult mpi = run_one(p, tree, rc, /*mpi_ws=*/true);

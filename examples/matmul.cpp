@@ -114,15 +114,13 @@ int main(int argc, char** argv) {
       }
     }
     double global_err = rt.allreduce_max(max_err);
-    TcStats stats = tc.stats_global();
+    Table stats = tc.stats_table();  // collective
     if (rt.me() == 0) {
-      std::printf("matmul %lldx%lld (%lld blocks): tasks=%llu steals=%llu "
-                  "max_err=%.2e -> %s\n",
+      std::printf("matmul %lldx%lld (%lld blocks): max_err=%.2e -> %s\n",
                   static_cast<long long>(n), static_cast<long long>(n),
-                  static_cast<long long>(nb * nb * nb),
-                  static_cast<unsigned long long>(stats.tasks_executed),
-                  static_cast<unsigned long long>(stats.steals), global_err,
+                  static_cast<long long>(nb * nb * nb), global_err,
                   global_err < 1e-9 ? "OK" : "FAILED");
+      stats.print("scheduler statistics (summed over ranks)");
     }
     tc.destroy();
     c.destroy();

@@ -72,16 +72,13 @@ int main(int argc, char** argv) {
 
     // 5. Report.
     std::uint64_t total = rt.allreduce_sum(my_count);
-    TcStats stats = tc.stats_global();
+    Table stats = tc.stats_table();  // collective
     if (rt.me() == 0) {
       std::printf("ranks=%d depth=%d tasks_executed=%llu (expected %llu)\n",
                   rt.nprocs(), depth,
                   static_cast<unsigned long long>(total),
                   static_cast<unsigned long long>((1ull << (depth + 1)) - 1));
-      std::printf("steals=%llu tasks_stolen=%llu td_waves=%llu\n",
-                  static_cast<unsigned long long>(stats.steals),
-                  static_cast<unsigned long long>(stats.tasks_stolen),
-                  static_cast<unsigned long long>(stats.td_waves_voted));
+      stats.print("scheduler statistics (summed over ranks)");
       if (rt.simulated()) {
         std::printf("virtual makespan: %.3f ms\n", to_ms(rt.now()));
       }

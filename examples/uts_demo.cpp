@@ -64,12 +64,15 @@ int main(int argc, char** argv) {
   std::printf("%s on %d ranks (%s): %.2f Mnodes/s, elapsed %.3f ms\n",
               sched.c_str(), cfg.nranks, cfg.machine.name.c_str(),
               res.mnodes_per_sec, to_ms(res.elapsed));
-  std::string polls =
-      res.polls ? " polls=" + std::to_string(res.polls) : std::string{};
-  std::printf("steals=%llu tasks_stolen=%llu%s\n",
-              static_cast<unsigned long long>(res.steals),
-              static_cast<unsigned long long>(res.tasks_stolen),
-              polls.c_str());
+  if (sched == "mpi-ws") {
+    std::printf("steals=%llu tasks_stolen=%llu polls=%llu\n",
+                static_cast<unsigned long long>(res.steals),
+                static_cast<unsigned long long>(res.tasks_stolen),
+                static_cast<unsigned long long>(res.polls));
+  } else {
+    tc_stats_table(res.stats).print(
+        "scheduler statistics (summed over ranks)");
+  }
   bool ok = res.counts == expected;
   std::printf("traversal %s: counted %llu nodes\n", ok ? "OK" : "MISMATCH",
               static_cast<unsigned long long>(res.counts.nodes));

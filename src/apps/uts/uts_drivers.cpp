@@ -74,6 +74,7 @@ UtsResult uts_run_scioto(pgas::Runtime& rt, const UtsParams& tree,
   res.mnodes_per_sec =
       static_cast<double>(res.counts.nodes) / (to_sec(elapsed) * 1e6);
   TcStats g = tc.stats_global();
+  res.stats = g;
   res.steals = g.steals;
   res.tasks_stolen = g.tasks_stolen;
   tc.destroy();

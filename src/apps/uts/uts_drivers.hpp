@@ -44,6 +44,9 @@ struct UtsResult {
   std::uint64_t steals = 0;
   std::uint64_t tasks_stolen = 0;
   std::uint64_t polls = 0;  // MPI-WS only
+  /// Full global TcStats snapshot (Scioto runs only; render with
+  /// tc_stats_table).
+  TcStats stats;
 };
 
 /// Collective: UTS under a Scioto task collection.

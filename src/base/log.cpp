@@ -46,10 +46,56 @@ void set_log_level(LogLevel level) {
   level_ref().store(static_cast<int>(level));
 }
 
+namespace {
+
+// Small fixed provider table: registration is rare (backend construction),
+// lookup happens on every emitted line. Slots fill once and are never
+// removed; providers themselves report "not my context" when inactive.
+constexpr int kMaxProviders = 4;
+std::atomic<LogContextFn> g_providers[kMaxProviders] = {};
+
+bool current_context(int& rank, long long& time_ns) {
+  for (const auto& slot : g_providers) {
+    LogContextFn fn = slot.load(std::memory_order_acquire);
+    if (fn != nullptr && fn(rank, time_ns)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+void log_register_context(LogContextFn fn) {
+  if (fn == nullptr) return;
+  for (auto& slot : g_providers) {
+    LogContextFn cur = slot.load(std::memory_order_acquire);
+    if (cur == fn) {
+      return;  // already registered
+    }
+    if (cur == nullptr) {
+      LogContextFn expected = nullptr;
+      if (slot.compare_exchange_strong(expected, fn)) {
+        return;
+      }
+      if (expected == fn) {
+        return;  // lost the race to ourselves
+      }
+    }
+  }
+}
+
 namespace detail {
 
 void log_emit(LogLevel level, const std::string& msg) {
-  std::fprintf(stderr, "[scioto %s] %s\n", level_name(level), msg.c_str());
+  int rank = -1;
+  long long time_ns = -1;
+  if (current_context(rank, time_ns)) {
+    std::fprintf(stderr, "[scioto %s r%d @%lldns] %s\n", level_name(level),
+                 rank, time_ns, msg.c_str());
+  } else {
+    std::fprintf(stderr, "[scioto %s] %s\n", level_name(level), msg.c_str());
+  }
 }
 
 }  // namespace detail

@@ -15,6 +15,21 @@ enum class LogLevel { Error = 0, Warn = 1, Info = 2, Debug = 3 };
 LogLevel log_level();
 void set_log_level(LogLevel level);
 
+/// Ambient execution context for log prefixes. When a runtime backend is
+/// active, messages are prefixed with the emitting rank and its current
+/// (virtual or wall) time so interleaved sim-backend logs are orderable:
+///
+///   [scioto DEBUG r3 @1234567ns] ...
+///
+/// Providers are registered by the execution backends (the sim Engine and
+/// the pgas ThreadBackend); base/ itself has no upward dependency. A
+/// provider fills rank/time_ns and returns true when it knows the calling
+/// context; log_emit asks each registered provider in turn.
+using LogContextFn = bool (*)(int& rank, long long& time_ns);
+
+/// Registers a context provider (idempotent; at most 4 distinct providers).
+void log_register_context(LogContextFn fn);
+
 namespace detail {
 void log_emit(LogLevel level, const std::string& msg);
 }

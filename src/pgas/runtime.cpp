@@ -1,11 +1,14 @@
 #include "pgas/runtime.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <cstring>
 
 #include "base/log.hpp"
 #include "pgas/sim_backend.hpp"
 #include "pgas/thread_backend.hpp"
+#include "trace/export.hpp"
+#include "trace/trace.hpp"
 
 namespace scioto::pgas {
 
@@ -71,6 +74,7 @@ void Runtime::get(SegId id, Rank target, std::size_t offset, void* dst,
   SCIOTO_CHECK(offset + n <= seg_bytes(id));
   if (target != me()) {
     backend_.rma_charge(target, n);
+    SCIOTO_TRACE_EVENT(me(), trace::Ev::PgasGet, target, 0, n);
   }
   std::memcpy(dst, seg_ptr(id, target) + offset, n);
 }
@@ -80,6 +84,7 @@ void Runtime::put(SegId id, Rank target, std::size_t offset, const void* src,
   SCIOTO_CHECK(offset + n <= seg_bytes(id));
   if (target != me()) {
     backend_.rma_charge(target, n);
+    SCIOTO_TRACE_EVENT(me(), trace::Ev::PgasPut, target, 0, n);
   }
   std::memcpy(seg_ptr(id, target) + offset, src, n);
 }
@@ -94,6 +99,10 @@ void Runtime::get_strided(SegId id, Rank target, std::size_t offset,
   SCIOTO_CHECK(offset + (nrows - 1) * src_stride + row_bytes <=
                seg_bytes(id));
   rma_charge_span(target, nrows * row_bytes);
+  if (target != me()) {
+    SCIOTO_TRACE_EVENT(me(), trace::Ev::PgasGet, target, 0,
+                       nrows * row_bytes);
+  }
   const std::byte* base = seg_ptr(id, target) + offset;
   auto* out = static_cast<std::byte*>(dst);
   for (std::size_t r = 0; r < nrows; ++r) {
@@ -111,6 +120,10 @@ void Runtime::put_strided(SegId id, Rank target, std::size_t offset,
   SCIOTO_CHECK(offset + (nrows - 1) * dst_stride + row_bytes <=
                seg_bytes(id));
   rma_charge_span(target, nrows * row_bytes);
+  if (target != me()) {
+    SCIOTO_TRACE_EVENT(me(), trace::Ev::PgasPut, target, 0,
+                       nrows * row_bytes);
+  }
   std::byte* base = seg_ptr(id, target) + offset;
   const auto* in = static_cast<const std::byte*>(src);
   for (std::size_t r = 0; r < nrows; ++r) {
@@ -123,6 +136,8 @@ void Runtime::acc(SegId id, Rank target, std::size_t offset,
   SCIOTO_CHECK(offset + n * sizeof(double) <= seg_bytes(id));
   if (target != me()) {
     backend_.rma_charge(target, n * sizeof(double));
+    SCIOTO_TRACE_EVENT(me(), trace::Ev::PgasAcc, target, 0,
+                       n * sizeof(double));
   } else {
     // Local accumulate still pays a memory-system cost under sim.
     backend_.charge(static_cast<TimeNs>(n / 4) + 100);
@@ -140,6 +155,7 @@ std::int64_t Runtime::fetch_add(SegId id, Rank target, std::size_t offset,
   SCIOTO_CHECK(offset % alignof(std::int64_t) == 0);
   SCIOTO_CHECK(offset + sizeof(std::int64_t) <= seg_bytes(id));
   backend_.rmw_charge(target);
+  SCIOTO_TRACE_EVENT(me(), trace::Ev::PgasRmw, target, 0, 0);
   auto* p = reinterpret_cast<std::int64_t*>(seg_ptr(id, target) + offset);
   return std::atomic_ref<std::int64_t>(*p).fetch_add(delta);
 }
@@ -149,6 +165,7 @@ std::int64_t Runtime::swap(SegId id, Rank target, std::size_t offset,
   SCIOTO_CHECK(offset % alignof(std::int64_t) == 0);
   SCIOTO_CHECK(offset + sizeof(std::int64_t) <= seg_bytes(id));
   backend_.rmw_charge(target);
+  SCIOTO_TRACE_EVENT(me(), trace::Ev::PgasRmw, target, 0, 0);
   auto* p = reinterpret_cast<std::int64_t*>(seg_ptr(id, target) + offset);
   return std::atomic_ref<std::int64_t>(*p).exchange(value);
 }
@@ -278,6 +295,17 @@ RunResult run_spmd(const Config& cfg,
   std::exception_ptr first_error;
   std::atomic<bool> failed{false};
 
+#if SCIOTO_TRACE_ENABLED
+  // SCIOTO_TRACE_OUT=FILE traces any binary without code changes. A session
+  // the caller already started (e.g. a bench's --trace flag) takes
+  // precedence: it owns export and shutdown.
+  const char* trace_out = std::getenv("SCIOTO_TRACE_OUT");
+  const bool own_trace = trace_out != nullptr && !trace::active();
+  if (own_trace) {
+    trace::start(cfg.nranks);
+  }
+#endif
+
   auto wrap = [&](Runtime& rt, Rank r) {
     try {
       body(rt);
@@ -304,6 +332,13 @@ RunResult run_spmd(const Config& cfg,
                          std::chrono::steady_clock::now() - t0)
                          .count();
   }
+
+#if SCIOTO_TRACE_ENABLED
+  if (own_trace) {
+    trace::write_chrome_trace_file(trace_out);
+    trace::stop();
+  }
+#endif
 
   if (first_error) {
     std::rethrow_exception(first_error);

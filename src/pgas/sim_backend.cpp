@@ -1,6 +1,7 @@
 #include "pgas/sim_backend.hpp"
 
 #include "base/error.hpp"
+#include "trace/trace.hpp"
 
 namespace scioto::pgas {
 
@@ -141,6 +142,7 @@ int SimBackend::barrier_stages() const {
 }
 
 void SimBackend::barrier() {
+  SCIOTO_TRACE_EVENT(engine_->current_rank(), trace::Ev::Barrier, 0, 0, 0);
   engine_->barrier(barrier_stages() * machine_.barrier_stage_armci);
 }
 

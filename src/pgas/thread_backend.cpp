@@ -1,17 +1,36 @@
 #include "pgas/thread_backend.hpp"
 
+#include <atomic>
 #include <exception>
 
 #include "base/error.hpp"
+#include "base/log.hpp"
+#include "trace/trace.hpp"
 
 namespace scioto::pgas {
 
 namespace {
 thread_local Rank t_my_rank = kNoRank;
+
+// Active backend for the log-context provider (one ThreadBackend runs at a
+// time; nested runs are not supported anyway).
+std::atomic<ThreadBackend*> g_active_backend{nullptr};
+
+bool threads_log_context(int& rank, long long& time_ns) {
+  ThreadBackend* b = g_active_backend.load(std::memory_order_acquire);
+  if (b == nullptr || t_my_rank == kNoRank) {
+    return false;
+  }
+  rank = t_my_rank;
+  time_ns = b->now();
+  return true;
 }
+
+}  // namespace
 
 ThreadBackend::ThreadBackend(int nranks) : nranks_(nranks) {
   SCIOTO_REQUIRE(nranks >= 1, "nranks must be >= 1, got " << nranks);
+  log_register_context(&threads_log_context);
   start_ = std::chrono::steady_clock::now();
   events_.reserve(static_cast<std::size_t>(nranks));
   for (int i = 0; i < nranks; ++i) {
@@ -20,6 +39,7 @@ ThreadBackend::ThreadBackend(int nranks) : nranks_(nranks) {
 }
 
 void ThreadBackend::run(const std::function<void(Rank)>& body) {
+  g_active_backend.store(this, std::memory_order_release);
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(nranks_));
   std::mutex err_mutex;
@@ -42,6 +62,7 @@ void ThreadBackend::run(const std::function<void(Rank)>& body) {
   for (auto& t : threads) {
     t.join();
   }
+  g_active_backend.store(nullptr, std::memory_order_release);
   if (first_error) {
     std::rethrow_exception(first_error);
   }
@@ -107,6 +128,7 @@ void ThreadBackend::notify(Rank r) {
 TimeNs ThreadBackend::msg_send_time(Rank, std::size_t) { return 0; }
 
 void ThreadBackend::barrier() {
+  SCIOTO_TRACE_EVENT(t_my_rank, trace::Ev::Barrier, 0, 0, 0);
   std::unique_lock<std::mutex> g(barrier_mutex_);
   std::uint64_t gen = barrier_generation_;
   if (++barrier_arrived_ == nranks_) {

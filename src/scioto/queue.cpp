@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "scioto/task.hpp"
+#include "trace/trace.hpp"
 
 namespace scioto {
 
@@ -93,6 +94,7 @@ bool SplitQueue::push_local(const std::byte* task, int affinity) {
     c.split.store(pt + 1, std::memory_order_release);
     rt_.unlock(locks_, me);
     rt_.charge(rt_.machine().local_insert);
+    SCIOTO_TRACE_EVENT(me, trace::Ev::Push, affinity, 0, (pt + 1) - sh);
     return true;
   }
 
@@ -106,6 +108,7 @@ bool SplitQueue::push_local(const std::byte* task, int affinity) {
     std::memcpy(slot(me, pt), task, cfg_.slot_bytes);
     c.priv_tail.store(pt + 1, std::memory_order_release);
     rt_.charge(rt_.machine().local_insert);
+    SCIOTO_TRACE_EVENT(me, trace::Ev::Push, affinity, 0, (pt + 1) - sh);
     return true;
   }
 
@@ -117,6 +120,9 @@ bool SplitQueue::push_local(const std::byte* task, int affinity) {
     bool ok = add_remote_waitfree(me, task);
     if (ok) {
       rt_.charge(rt_.machine().local_insert);
+      SCIOTO_TRACE_EVENT(me, trace::Ev::Push, affinity, 0,
+                         c.priv_tail.load(std::memory_order_relaxed) -
+                             c.steal_head.load(std::memory_order_relaxed));
     }
     return ok;
   }
@@ -131,6 +137,7 @@ bool SplitQueue::push_local(const std::byte* task, int affinity) {
   c.steal_head.store(sh - 1, std::memory_order_release);
   rt_.unlock(locks_, me);
   rt_.charge(rt_.machine().local_insert);
+  SCIOTO_TRACE_EVENT(me, trace::Ev::Push, affinity, 0, pt - (sh - 1));
   return true;
 }
 
@@ -152,6 +159,7 @@ bool SplitQueue::pop_local(std::byte* out) {
     rt_.unlock(locks_, me);
     rt_.charge(rt_.machine().local_get);
     counters().pops++;
+    SCIOTO_TRACE_EVENT(me, trace::Ev::Pop, 0, 0, (pt - 1) - sh);
     return true;
   }
 
@@ -164,6 +172,8 @@ bool SplitQueue::pop_local(std::byte* out) {
   c.priv_tail.store(pt - 1, std::memory_order_release);
   rt_.charge(rt_.machine().local_get);
   counters().pops++;
+  SCIOTO_TRACE_EVENT(me, trace::Ev::Pop, 0, 0,
+                     (pt - 1) - c.steal_head.load(std::memory_order_relaxed));
   return true;
 }
 
@@ -191,6 +201,9 @@ std::uint64_t SplitQueue::reacquire() {
       }
       if (got > 0) {
         counters().reacquires++;
+        SCIOTO_TRACE_EVENT(me, trace::Ev::Reacquire, got, 0,
+                           c.priv_tail.load(std::memory_order_relaxed) -
+                               c.steal_head.load(std::memory_order_relaxed));
       }
       return static_cast<std::uint64_t>(got);
     }
@@ -212,6 +225,8 @@ std::uint64_t SplitQueue::reacquire() {
       c.split.store(sp - take, std::memory_order_release);
       rt_.unlock(locks_, me);
       counters().reacquires++;
+      SCIOTO_TRACE_EVENT(me, trace::Ev::Reacquire, take, 0,
+                         c.priv_tail.load(std::memory_order_relaxed) - sh);
       return take;
     }
   }
@@ -234,6 +249,9 @@ std::uint64_t SplitQueue::release_maybe() {
   std::uint64_t sp = c.split.load(std::memory_order_relaxed);
   c.split.store(sp + give, std::memory_order_release);
   counters().releases++;
+  SCIOTO_TRACE_EVENT(rt_.me(), trace::Ev::Release, give, 0,
+                     c.priv_tail.load(std::memory_order_relaxed) -
+                         c.steal_head.load(std::memory_order_relaxed));
   return give;
 }
 
@@ -335,12 +353,16 @@ int SplitQueue::steal_from_waitfree(Rank victim, std::byte* out) {
 
 int SplitQueue::steal_from(Rank victim, std::byte* out) {
   counters().steal_attempts++;
+  SCIOTO_TRACE_EVENT(rt_.me(), trace::Ev::StealAttempt, victim, 0, 0);
   int n = cfg_.mode == QueueMode::WaitFreeSteal
               ? steal_from_waitfree(victim, out)
               : steal_from_locked(victim, out);
   if (n > 0) {
     counters().steals_in++;
     counters().tasks_stolen_in += static_cast<std::uint64_t>(n);
+    SCIOTO_TRACE_EVENT(rt_.me(), trace::Ev::StealOk, victim, n, 0);
+  } else {
+    SCIOTO_TRACE_EVENT(rt_.me(), trace::Ev::StealFail, victim, 0, 0);
   }
   return n;
 }
@@ -410,6 +432,7 @@ bool SplitQueue::add_remote(Rank target, const std::byte* task) {
   }
   if (ok) {
     counters().remote_adds++;
+    SCIOTO_TRACE_EVENT(rt_.me(), trace::Ev::RemoteAdd, target, 0, 0);
   }
   return ok;
 }

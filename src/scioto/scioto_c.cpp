@@ -113,6 +113,25 @@ void tc_process(tc_t tc) { collection(tc).process(); }
 
 void tc_reset(tc_t tc) { collection(tc).reset(); }
 
+void tc_stats_get(tc_t tc, scioto_stats_t* out) {
+  SCIOTO_REQUIRE(out != nullptr, "tc_stats_get: null output pointer");
+  scioto::TcStats g = collection(tc).stats_global();
+  out->tasks_executed = g.tasks_executed;
+  out->tasks_spawned_local = g.tasks_spawned_local;
+  out->tasks_spawned_remote = g.tasks_spawned_remote;
+  out->steals = g.steals;
+  out->steals_same_node = g.steals_same_node;
+  out->steal_attempts = g.steal_attempts;
+  out->tasks_stolen = g.tasks_stolen;
+  out->releases = g.releases;
+  out->reacquires = g.reacquires;
+  out->td_waves_voted = g.td_waves_voted;
+  out->td_black_votes = g.td_black_votes;
+  out->time_total_ns = g.time_total;
+  out->time_working_ns = g.time_working;
+  out->time_searching_ns = g.time_searching;
+}
+
 task_t* tc_task_create(int body_sz, task_handle_t th) {
   SCIOTO_REQUIRE(body_sz >= 0, "negative task body size");
   auto* bytes = new std::byte[sizeof(scioto::TaskHeader) +

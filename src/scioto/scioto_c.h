@@ -40,6 +40,25 @@ typedef void (*tc_callback_t)(tc_t tc, task_t* task);
 
 enum { TC_AFFINITY_LOW = 0, TC_AFFINITY_HIGH = 1 };
 
+/// C view of scioto::TcStats: execution counters from the last
+/// tc_process(). Times are nanoseconds (virtual under the sim backend).
+typedef struct scioto_stats {
+  uint64_t tasks_executed;
+  uint64_t tasks_spawned_local;
+  uint64_t tasks_spawned_remote;
+  uint64_t steals;
+  uint64_t steals_same_node;
+  uint64_t steal_attempts;
+  uint64_t tasks_stolen;
+  uint64_t releases;
+  uint64_t reacquires;
+  uint64_t td_waves_voted;
+  uint64_t td_black_votes;
+  int64_t time_total_ns;
+  int64_t time_working_ns;
+  int64_t time_searching_ns;
+} scioto_stats_t;
+
 /// Collective. Creates a task collection sized for descriptors with up to
 /// task_sz body bytes, steal chunks of chunk_sz, and max_sz tasks/rank.
 tc_t tc_create(int task_sz, int chunk_sz, long max_sz);
@@ -53,6 +72,9 @@ void tc_add(tc_t tc, int proc, int affty, task_t* t);
 void tc_process(tc_t tc);
 /// Collective; rearms the collection for another phase.
 void tc_reset(tc_t tc);
+/// Collective: fills `out` with statistics summed over all ranks from the
+/// last tc_process().
+void tc_stats_get(tc_t tc, scioto_stats_t* out);
 
 task_t* tc_task_create(int body_sz, task_handle_t th);
 void tc_task_destroy(task_t* task);

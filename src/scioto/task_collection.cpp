@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "base/log.hpp"
+#include "trace/trace.hpp"
 
 namespace scioto {
 
@@ -25,6 +26,42 @@ TcStats& TcStats::operator+=(const TcStats& o) {
   time_working += o.time_working;
   time_searching += o.time_searching;
   return *this;
+}
+
+Table tc_stats_table(const TcStats& s) {
+  Table t({"metric", "value"});
+  auto add_u64 = [&](const char* name, std::uint64_t v) {
+    t.add_row({name, Table::fmt(static_cast<std::int64_t>(v))});
+  };
+  auto add_ms = [&](const char* name, TimeNs v) {
+    t.add_row({name, Table::fmt(static_cast<double>(v) / 1e6, 3)});
+  };
+  auto add_pct = [&](const char* name, double num, double den) {
+    t.add_row({name, Table::fmt(den > 0 ? 100.0 * num / den : 0.0, 1)});
+  };
+  add_u64("tasks_executed", s.tasks_executed);
+  add_u64("tasks_spawned_local", s.tasks_spawned_local);
+  add_u64("tasks_spawned_remote", s.tasks_spawned_remote);
+  add_u64("steals", s.steals);
+  add_u64("steals_same_node", s.steals_same_node);
+  add_u64("steal_attempts", s.steal_attempts);
+  add_u64("tasks_stolen", s.tasks_stolen);
+  add_u64("releases", s.releases);
+  add_u64("reacquires", s.reacquires);
+  add_u64("td_waves_voted", s.td_waves_voted);
+  add_u64("td_black_votes", s.td_black_votes);
+  add_u64("td_marks_sent", s.td_marks_sent);
+  add_u64("td_marks_skipped", s.td_marks_skipped);
+  add_ms("time_total_ms", s.time_total);
+  add_ms("time_working_ms", s.time_working);
+  add_ms("time_searching_ms", s.time_searching);
+  add_pct("steal_success_pct", static_cast<double>(s.steals),
+          static_cast<double>(s.steal_attempts));
+  add_pct("working_pct", static_cast<double>(s.time_working),
+          static_cast<double>(s.time_total));
+  add_pct("searching_pct", static_cast<double>(s.time_searching),
+          static_cast<double>(s.time_total));
+  return t;
 }
 
 TaskCollection::TaskCollection(pgas::Runtime& rt, TcConfig cfg)
@@ -141,7 +178,23 @@ void TaskCollection::execute(std::byte* descriptor) {
   const TaskFn& fn =
       registries_[static_cast<std::size_t>(rt_.me())].lookup(hdr->callback);
   TaskContext ctx{*this, *hdr, descriptor + sizeof(TaskHeader), rt_.me()};
+#if SCIOTO_TRACE_ENABLED
+  // Same clock reads the process() loop uses for time_working, so the
+  // trace-derived working time reconciles with TcStats exactly under sim.
+  const bool tracing = trace::active();
+  const TimeNs trace_t0 = tracing ? rt_.now() : 0;
+  if (tracing) {
+    trace::record(rt_.me(), trace::Ev::TaskBegin, hdr->callback,
+                  hdr->affinity);
+  }
+#endif
   fn(ctx);
+#if SCIOTO_TRACE_ENABLED
+  if (tracing) {
+    trace::record(rt_.me(), trace::Ev::TaskEnd, hdr->callback, 0,
+                  rt_.now() - trace_t0);
+  }
+#endif
   my_stats().tasks_executed++;
 }
 
@@ -160,7 +213,12 @@ void TaskCollection::process() {
       steal_bufs_[static_cast<std::size_t>(rt_.me())].data();
   const int n = rt_.nprocs();
   const TimeNs t_begin = rt_.now();
+  SCIOTO_TRACE_EVENT(rt_.me(), trace::Ev::PhaseBegin, 0, 0, 0);
   TimeNs idle_begin = 0;
+  // Searching time accumulated since the last Search trace event; one
+  // coalesced event is emitted per idle spell (at the transition back to
+  // work or at termination) instead of one per poll iteration.
+  TimeNs search_accum = 0;
   // Steal backoff state: after each empty-handed steal round, double the
   // number of cheap TD polls before the next round (capped).
   int consecutive_failed_steals = 0;
@@ -170,6 +228,10 @@ void TaskCollection::process() {
   for (;;) {
     // 1. Drain local work (head of the queue = highest affinity).
     if (queue_->pop_local(exec_buf)) {
+      if (search_accum > 0) {
+        SCIOTO_TRACE_EVENT(rt_.me(), trace::Ev::Search, 0, 0, search_accum);
+        search_accum = 0;
+      }
       TimeNs t0 = rt_.now();
       execute(exec_buf);
       st.time_working += rt_.now() - t0;
@@ -222,6 +284,14 @@ void TaskCollection::process() {
             st.steals_same_node++;
           }
           td_->note_lb_op(victim);
+          // The search ends with the successful steal: charge it now, before
+          // the stolen task runs, so execution time lands only in
+          // time_working (working and searching partition the phase).
+          TimeNs spell = rt_.now() - idle_begin;
+          st.time_searching += spell;
+          search_accum += spell;
+          SCIOTO_TRACE_EVENT(rt_.me(), trace::Ev::Search, 0, 0, search_accum);
+          search_accum = 0;
           // Requeue all but the first stolen task, then execute that one
           // directly from the steal buffer. This guarantees progress per
           // successful steal: requeued tasks are instantly stealable again
@@ -246,8 +316,7 @@ void TaskCollection::process() {
     if (got_work) {
       consecutive_failed_steals = 0;
       polls_until_steal = 0;
-      st.time_searching += rt_.now() - idle_begin;
-      continue;
+      continue;  // searching time already charged before the stolen task ran
     }
     if (attempted) {
       ++consecutive_failed_steals;
@@ -260,11 +329,20 @@ void TaskCollection::process() {
     }
 
     if (td_->step() == TerminationDetector::Status::Terminated) {
-      st.time_searching += rt_.now() - idle_begin;
+      TimeNs spell = rt_.now() - idle_begin;
+      st.time_searching += spell;
+      search_accum += spell;
+      if (search_accum > 0) {
+        SCIOTO_TRACE_EVENT(rt_.me(), trace::Ev::Search, 0, 0, search_accum);
+      }
       break;
     }
     rt_.relax();
-    st.time_searching += rt_.now() - idle_begin;
+    {
+      TimeNs spell = rt_.now() - idle_begin;
+      st.time_searching += spell;
+      search_accum += spell;
+    }
     if (++idle_iterations % 1000000 == 0) {
       SCIOTO_WARN("rank " << rt_.me() << " idle for " << idle_iterations
                           << " iterations: queue=" << queue_->size()
@@ -275,7 +353,9 @@ void TaskCollection::process() {
     }
   }
 
-  st.time_total += rt_.now() - t_begin;
+  const TimeNs phase_dur = rt_.now() - t_begin;
+  st.time_total += phase_dur;
+  SCIOTO_TRACE_EVENT(rt_.me(), trace::Ev::PhaseEnd, 0, 0, phase_dur);
   // Fold queue/TD counters into the stats snapshot.
   const SplitQueue::Counters& qc = queue_->counters();
   st.steals = qc.steals_in;

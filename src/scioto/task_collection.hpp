@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "base/rng.hpp"
+#include "base/table.hpp"
 #include "scioto/clo.hpp"
 #include "scioto/queue.hpp"
 #include "scioto/task.hpp"
@@ -84,6 +85,12 @@ struct TcStats {
   TcStats& operator+=(const TcStats& o);
 };
 
+/// Renders a stats snapshot as a two-column metric/value table, including
+/// derived columns (steal success rate, % of time working/searching).
+/// Usable on any TcStats -- a rank-local snapshot, a global sum, or one
+/// carried home in a result struct.
+Table tc_stats_table(const TcStats& s);
+
 class TaskCollection {
  public:
   /// Collective: all ranks construct with identical cfg.
@@ -141,6 +148,9 @@ class TaskCollection {
   }
   /// Collective: sum over all ranks.
   TcStats stats_global();
+  /// Collective: renders stats_global() through tc_stats_table(). Only the
+  /// returned table on rank 0 is typically printed.
+  Table stats_table() { return tc_stats_table(stats_global()); }
 
   /// Tasks currently queued on this rank (diagnostics).
   std::uint64_t local_queue_size() const { return queue_->size(); }

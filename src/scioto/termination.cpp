@@ -1,5 +1,7 @@
 #include "scioto/termination.hpp"
 
+#include "trace/trace.hpp"
+
 namespace scioto {
 
 TerminationDetector::TerminationDetector(pgas::Runtime& rt)
@@ -44,9 +46,10 @@ bool TerminationDetector::is_descendant(Rank v, Rank anc) {
 
 template <class T, class V>
 void TerminationDetector::put_token(Rank target, std::atomic<T>& field,
-                                    V value) {
+                                    V value, [[maybe_unused]] int what) {
   rt_.backend().rma_charge_oneway(target, sizeof(T));
   field.store(static_cast<T>(value), std::memory_order_release);
+  SCIOTO_TRACE_EVENT(rt_.me(), trace::Ev::TokenSend, target, what, 0);
 }
 
 void TerminationDetector::reset_local() {
@@ -79,7 +82,7 @@ void TerminationDetector::note_lb_op(Rank other) {
       return;
     }
   }
-  put_token(other, ctl(other).dirty, 1u);
+  put_token(other, ctl(other).dirty, 1u, /*what=*/3);
   my_counters().dirty_marks_sent++;
 }
 
@@ -99,11 +102,12 @@ TerminationDetector::Status TerminationDetector::step() {
       st.term_forwarded = true;
       for (int s = 0; s < 2; ++s) {
         if (has_child(s)) {
-          put_token(child(s), ctl(child(s)).term_wave, tw);
+          put_token(child(s), ctl(child(s)).term_wave, tw, /*what=*/2);
         }
       }
     }
     st.terminated = true;
+    SCIOTO_TRACE_EVENT(me, trace::Ev::Terminate, tw, 0, 0);
     return Status::Terminated;
   }
 
@@ -113,9 +117,11 @@ TerminationDetector::Status TerminationDetector::step() {
       // Previous wave concluded (or none started): launch the next one.
       ++st.wave_seen;
       my_counters().waves_started++;
+      SCIOTO_TRACE_EVENT(me, trace::Ev::WaveStart, st.wave_seen, 0, 0);
       for (int s = 0; s < 2; ++s) {
         if (has_child(s)) {
-          put_token(child(s), ctl(child(s)).down_wave, st.wave_seen);
+          put_token(child(s), ctl(child(s)).down_wave, st.wave_seen,
+                    /*what=*/0);
         }
       }
     }
@@ -125,7 +131,8 @@ TerminationDetector::Status TerminationDetector::step() {
       st.wave_seen = dw;
       for (int s = 0; s < 2; ++s) {
         if (has_child(s)) {
-          put_token(child(s), ctl(child(s)).down_wave, st.wave_seen);
+          put_token(child(s), ctl(child(s)).down_wave, st.wave_seen,
+                    /*what=*/0);
         }
       }
     }
@@ -153,6 +160,7 @@ TerminationDetector::Status TerminationDetector::step() {
       if (black) {
         my_counters().black_votes++;
       }
+      SCIOTO_TRACE_EVENT(me, trace::Ev::Vote, st.wave_seen, black ? 1 : 0, 0);
       if (me == 0) {
         if (!black) {
           // All-white wave: decide termination and broadcast.
@@ -163,7 +171,7 @@ TerminationDetector::Status TerminationDetector::step() {
         Rank parent = (me - 1) / 2;
         int slot = (me - 1) % 2;
         put_token(parent, ctl(parent).up[slot],
-                  (st.wave_seen << 1) | (black ? 1u : 0u));
+                  (st.wave_seen << 1) | (black ? 1u : 0u), /*what=*/1);
       }
     }
   }

@@ -98,9 +98,10 @@ class TerminationDetector {
   Rank child(int slot) const;
   /// True if `v` is a strict descendant of `anc` in the spanning tree.
   static bool is_descendant(Rank v, Rank anc);
-  /// One-sided 8-byte put of a token field.
+  /// One-sided 8-byte put of a token field. `what` names the field for the
+  /// trace stream (0=down, 1=up, 2=term, 3=dirty).
   template <class T, class V>
-  void put_token(Rank target, std::atomic<T>& field, V value);
+  void put_token(Rank target, std::atomic<T>& field, V value, int what);
 
   struct LocalState {
     std::uint64_t wave_seen = 0;   // latest down-wave observed/forwarded

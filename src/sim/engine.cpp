@@ -10,12 +10,34 @@ namespace scioto::sim {
 
 namespace {
 thread_local Engine* g_current_engine = nullptr;
+
+/// Log-context provider: when a fiber is executing, logs carry its rank
+/// and virtual clock so interleaved sim output is orderable.
+bool sim_log_context(int& rank, long long& time_ns) {
+  Engine* e = g_current_engine;
+  if (e == nullptr || e->current_rank() == kNoRank) {
+    return false;
+  }
+  rank = e->current_rank();
+  time_ns = e->now();
+  return true;
 }
+
+}  // namespace
 
 Engine* current_engine() { return g_current_engine; }
 
+TimeNs current_virtual_time() {
+  Engine* e = g_current_engine;
+  if (e == nullptr || e->current_rank() == kNoRank) {
+    return -1;
+  }
+  return e->now();
+}
+
 Engine::Engine(Config cfg, std::function<void(Rank)> rank_main)
     : cfg_(std::move(cfg)), rank_main_(std::move(rank_main)) {
+  log_register_context(&sim_log_context);
   SCIOTO_REQUIRE(cfg_.nranks >= 1, "nranks must be >= 1, got " << cfg_.nranks);
   ranks_.resize(static_cast<std::size_t>(cfg_.nranks));
   cpu_scale_.resize(static_cast<std::size_t>(cfg_.nranks));

@@ -161,4 +161,9 @@ class Engine {
 /// Null when no simulation is active on this thread.
 Engine* current_engine();
 
+/// Virtual clock of the currently executing fiber, or -1 when the calling
+/// thread is not inside a simulation (used by the trace clock and the log
+/// context without requiring a Runtime reference).
+TimeNs current_virtual_time();
+
 }  // namespace scioto::sim

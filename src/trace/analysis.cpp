@@ -1,0 +1,167 @@
+#include "trace/analysis.hpp"
+
+#include <algorithm>
+
+#include "base/error.hpp"
+
+namespace scioto::trace {
+
+namespace {
+
+bool rank_ok(const Event& e, int nranks) {
+  return e.rank >= 0 && e.rank < nranks;
+}
+
+std::string ns_to_ms(TimeNs t) {
+  return Table::fmt(static_cast<double>(t) / 1e6, 3);
+}
+
+std::string pct(TimeNs part, TimeNs whole) {
+  if (whole <= 0) {
+    return Table::fmt(0.0, 1);
+  }
+  return Table::fmt(100.0 * static_cast<double>(part) /
+                        static_cast<double>(whole),
+                    1);
+}
+
+}  // namespace
+
+std::uint64_t StealMatrix::total_steals() const {
+  std::uint64_t s = 0;
+  for (std::uint64_t v : steals) s += v;
+  return s;
+}
+
+std::uint64_t StealMatrix::total_tasks() const {
+  std::uint64_t s = 0;
+  for (std::uint64_t v : tasks) s += v;
+  return s;
+}
+
+Table StealMatrix::table() const {
+  std::vector<std::string> headers;
+  headers.reserve(static_cast<std::size_t>(nranks) + 2);
+  headers.push_back("thief\\victim");
+  for (Rank v = 0; v < nranks; ++v) {
+    headers.push_back("r" + std::to_string(v));
+  }
+  headers.push_back("total");
+  Table t(std::move(headers));
+  for (Rank thief = 0; thief < nranks; ++thief) {
+    std::vector<std::string> row;
+    row.reserve(static_cast<std::size_t>(nranks) + 2);
+    row.push_back("r" + std::to_string(thief));
+    std::uint64_t row_total = 0;
+    for (Rank victim = 0; victim < nranks; ++victim) {
+      std::uint64_t n = tasks_at(thief, victim);
+      row_total += n;
+      row.push_back(Table::fmt(static_cast<std::int64_t>(n)));
+    }
+    row.push_back(Table::fmt(static_cast<std::int64_t>(row_total)));
+    t.add_row(std::move(row));
+  }
+  return t;
+}
+
+StealMatrix steal_matrix(const std::vector<Event>& events, int nranks) {
+  SCIOTO_REQUIRE(nranks >= 1, "steal_matrix: nranks must be >= 1");
+  StealMatrix m;
+  m.nranks = nranks;
+  std::size_t n2 =
+      static_cast<std::size_t>(nranks) * static_cast<std::size_t>(nranks);
+  m.steals.assign(n2, 0);
+  m.tasks.assign(n2, 0);
+  for (const Event& e : events) {
+    if (e.kind != Ev::StealOk || !rank_ok(e, nranks)) {
+      continue;
+    }
+    if (e.a < 0 || e.a >= nranks) {
+      continue;
+    }
+    std::size_t idx = static_cast<std::size_t>(e.rank) *
+                          static_cast<std::size_t>(nranks) +
+                      static_cast<std::size_t>(e.a);
+    m.steals[idx] += 1;
+    m.tasks[idx] += static_cast<std::uint64_t>(e.b);
+  }
+  return m;
+}
+
+std::vector<RankBreakdown> time_breakdown(const std::vector<Event>& events,
+                                          int nranks) {
+  SCIOTO_REQUIRE(nranks >= 1, "time_breakdown: nranks must be >= 1");
+  std::vector<RankBreakdown> out(static_cast<std::size_t>(nranks));
+  for (const Event& e : events) {
+    if (!rank_ok(e, nranks)) {
+      continue;
+    }
+    RankBreakdown& rb = out[static_cast<std::size_t>(e.rank)];
+    switch (e.kind) {
+      case Ev::PhaseEnd:
+        rb.total += e.c;
+        break;
+      case Ev::TaskEnd:
+        rb.working += e.c;
+        break;
+      case Ev::Search:
+        rb.searching += e.c;
+        break;
+      default:
+        break;
+    }
+  }
+  return out;
+}
+
+Table breakdown_table(const std::vector<RankBreakdown>& rows) {
+  Table t({"rank", "total_ms", "working_ms", "searching_ms", "other_ms",
+           "working_pct", "searching_pct"});
+  RankBreakdown sum;
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    const RankBreakdown& rb = rows[r];
+    sum.total += rb.total;
+    sum.working += rb.working;
+    sum.searching += rb.searching;
+    t.add_row({"r" + std::to_string(r), ns_to_ms(rb.total),
+               ns_to_ms(rb.working), ns_to_ms(rb.searching),
+               ns_to_ms(rb.other()), pct(rb.working, rb.total),
+               pct(rb.searching, rb.total)});
+  }
+  t.add_row({"TOTAL", ns_to_ms(sum.total), ns_to_ms(sum.working),
+             ns_to_ms(sum.searching), ns_to_ms(sum.other()),
+             pct(sum.working, sum.total), pct(sum.searching, sum.total)});
+  return t;
+}
+
+std::vector<std::vector<OccupancySample>> occupancy_timeline(
+    const std::vector<Event>& events, int nranks) {
+  SCIOTO_REQUIRE(nranks >= 1, "occupancy_timeline: nranks must be >= 1");
+  std::vector<std::vector<OccupancySample>> out(
+      static_cast<std::size_t>(nranks));
+  for (const Event& e : events) {
+    if (!rank_ok(e, nranks)) {
+      continue;
+    }
+    switch (e.kind) {
+      case Ev::Push:
+      case Ev::Pop:
+      case Ev::Release:
+      case Ev::Reacquire:
+        out[static_cast<std::size_t>(e.rank)].push_back(
+            OccupancySample{e.t, e.c});
+        break;
+      default:
+        break;
+    }
+  }
+  for (auto& series : out) {
+    std::stable_sort(series.begin(), series.end(),
+                     [](const OccupancySample& x, const OccupancySample& y) {
+                       return x.t < y.t;
+                     });
+  }
+  return out;
+}
+
+}  // namespace scioto::trace

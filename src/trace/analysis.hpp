@@ -1,0 +1,79 @@
+// Post-run analyses over a recorded trace stream.
+//
+// These consume the merged event stream (trace::all_events(), or any
+// vector of Events carrying rank stamps) and compute the diagnostics the
+// figure claims rest on:
+//
+//   * steal_matrix       -- who stole from whom, and how many tasks moved:
+//                           the load-balance picture behind Figures 5-8;
+//   * time_breakdown     -- per-rank working / searching / other time.
+//                           Sums the same instrumentation samples TcStats
+//                           accumulates, so the two must reconcile (the
+//                           trace test asserts agreement within 1%);
+//   * occupancy_timeline -- (time, queue size) samples per rank from the
+//                           owner's push/pop/release/reacquire events.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "base/table.hpp"
+#include "base/types.hpp"
+#include "trace/trace.hpp"
+
+namespace scioto::trace {
+
+/// Who-stole-from-whom. Dense nranks x nranks matrices indexed
+/// [thief * nranks + victim].
+struct StealMatrix {
+  int nranks = 0;
+  std::vector<std::uint64_t> steals;  // successful steal operations
+  std::vector<std::uint64_t> tasks;   // tasks moved by those steals
+
+  std::uint64_t steals_at(Rank thief, Rank victim) const {
+    return steals[static_cast<std::size_t>(thief) *
+                      static_cast<std::size_t>(nranks) +
+                  static_cast<std::size_t>(victim)];
+  }
+  std::uint64_t tasks_at(Rank thief, Rank victim) const {
+    return tasks[static_cast<std::size_t>(thief) *
+                     static_cast<std::size_t>(nranks) +
+                 static_cast<std::size_t>(victim)];
+  }
+  std::uint64_t total_steals() const;
+  std::uint64_t total_tasks() const;
+
+  /// Renders "tasks stolen" as a thief-row x victim-column table.
+  Table table() const;
+};
+
+StealMatrix steal_matrix(const std::vector<Event>& events, int nranks);
+
+/// Per-rank time decomposition of the tc_process phase(s).
+struct RankBreakdown {
+  TimeNs total = 0;      // sum of PhaseEnd durations
+  TimeNs working = 0;    // sum of TaskEnd durations
+  TimeNs searching = 0;  // sum of Search spell durations
+  /// Phase time not spent executing tasks or searching (queue management,
+  /// residual scheduling overhead).
+  TimeNs other() const { return total - working - searching; }
+};
+
+std::vector<RankBreakdown> time_breakdown(const std::vector<Event>& events,
+                                          int nranks);
+
+/// Renders the breakdown with one row per rank plus a TOTAL row.
+Table breakdown_table(const std::vector<RankBreakdown>& rows);
+
+/// One queue-occupancy sample: the owner's queue held `tasks` tasks at
+/// time `t` (taken after each push/pop/release/reacquire).
+struct OccupancySample {
+  TimeNs t = 0;
+  std::int64_t tasks = 0;
+};
+
+/// Per-rank occupancy series, in time order.
+std::vector<std::vector<OccupancySample>> occupancy_timeline(
+    const std::vector<Event>& events, int nranks);
+
+}  // namespace scioto::trace

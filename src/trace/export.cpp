@@ -1,0 +1,198 @@
+#include "trace/export.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+#include "base/log.hpp"
+#include "trace/trace.hpp"
+
+namespace scioto::trace {
+
+namespace {
+
+/// Nanoseconds -> the format's microsecond unit, printed as a fixed-point
+/// decimal (no floating-point formatting, so output is bit-deterministic).
+std::string fmt_us(TimeNs t_ns) {
+  bool neg = t_ns < 0;
+  if (neg) t_ns = -t_ns;
+  std::ostringstream os;
+  if (neg) os << '-';
+  os << (t_ns / 1000) << '.';
+  std::int64_t frac = t_ns % 1000;
+  os << static_cast<char>('0' + frac / 100)
+     << static_cast<char>('0' + (frac / 10) % 10)
+     << static_cast<char>('0' + frac % 10);
+  return os.str();
+}
+
+const char* ev_category(Ev kind) {
+  switch (kind) {
+    case Ev::TaskBegin:
+    case Ev::TaskEnd:
+      return "task";
+    case Ev::Push:
+    case Ev::Pop:
+    case Ev::Release:
+    case Ev::Reacquire:
+      return "queue";
+    case Ev::StealAttempt:
+    case Ev::StealOk:
+    case Ev::StealFail:
+    case Ev::RemoteAdd:
+      return "steal";
+    case Ev::TokenSend:
+    case Ev::Vote:
+    case Ev::WaveStart:
+    case Ev::Terminate:
+      return "td";
+    case Ev::PgasPut:
+    case Ev::PgasGet:
+    case Ev::PgasAcc:
+    case Ev::PgasRmw:
+      return "pgas";
+    case Ev::Barrier:
+      return "sync";
+    case Ev::Search:
+    case Ev::PhaseBegin:
+    case Ev::PhaseEnd:
+      return "sched";
+  }
+  return "?";
+}
+
+/// Common prefix: {"name":"...","cat":"...","ph":"X","ts":...,"pid":R,"tid":0
+void emit_head(std::ostream& os, const Event& e, const char* name,
+               const char* ph, TimeNs ts_ns) {
+  os << "{\"name\":\"" << name << "\",\"cat\":\"" << ev_category(e.kind)
+     << "\",\"ph\":\"" << ph << "\",\"ts\":" << fmt_us(ts_ns)
+     << ",\"pid\":" << e.rank << ",\"tid\":0";
+}
+
+void emit_event(std::ostream& os, const Event& e) {
+  switch (e.kind) {
+    case Ev::TaskBegin:
+      emit_head(os, e, ev_name(e.kind), "B", e.t);
+      os << ",\"args\":{\"callback\":" << e.a << ",\"affinity\":" << e.b
+         << "}}";
+      return;
+    case Ev::TaskEnd:
+      emit_head(os, e, ev_name(e.kind), "E", e.t);
+      os << ",\"args\":{\"callback\":" << e.a << "}}";
+      return;
+    case Ev::PhaseBegin:
+      emit_head(os, e, ev_name(e.kind), "B", e.t);
+      os << ",\"args\":{}}";
+      return;
+    case Ev::PhaseEnd:
+      emit_head(os, e, ev_name(e.kind), "E", e.t);
+      os << ",\"args\":{\"dur_ns\":" << e.c << "}}";
+      return;
+    case Ev::Search:
+      // One coalesced idle/steal/TD-poll spell, drawn over its duration.
+      emit_head(os, e, ev_name(e.kind), "X", e.t - e.c);
+      os << ",\"dur\":" << fmt_us(e.c) << ",\"args\":{}}";
+      return;
+    case Ev::Push:
+    case Ev::Pop:
+    case Ev::Release:
+    case Ev::Reacquire:
+      // Queue ops double as occupancy counter samples; the op itself and
+      // its magnitude ride along in args.
+      emit_head(os, e, "queue", "C", e.t);
+      os << ",\"args\":{\"tasks\":" << e.c << "}}";
+      return;
+    case Ev::StealAttempt:
+    case Ev::StealFail:
+      emit_head(os, e, ev_name(e.kind), "i", e.t);
+      os << ",\"s\":\"t\",\"args\":{\"victim\":" << e.a << "}}";
+      return;
+    case Ev::StealOk:
+      emit_head(os, e, ev_name(e.kind), "i", e.t);
+      os << ",\"s\":\"t\",\"args\":{\"victim\":" << e.a
+         << ",\"tasks\":" << e.b << "}}";
+      return;
+    case Ev::RemoteAdd:
+      emit_head(os, e, ev_name(e.kind), "i", e.t);
+      os << ",\"s\":\"t\",\"args\":{\"target\":" << e.a << "}}";
+      return;
+    case Ev::TokenSend: {
+      static const char* kFields[] = {"down", "up", "term", "dirty"};
+      const char* field =
+          (e.b >= 0 && e.b < 4) ? kFields[e.b] : "?";
+      emit_head(os, e, ev_name(e.kind), "i", e.t);
+      os << ",\"s\":\"t\",\"args\":{\"target\":" << e.a << ",\"field\":\""
+         << field << "\"}}";
+      return;
+    }
+    case Ev::Vote:
+      emit_head(os, e, ev_name(e.kind), "i", e.t);
+      os << ",\"s\":\"t\",\"args\":{\"wave\":" << e.a
+         << ",\"black\":" << e.b << "}}";
+      return;
+    case Ev::WaveStart:
+    case Ev::Terminate:
+      emit_head(os, e, ev_name(e.kind), "i", e.t);
+      os << ",\"s\":\"t\",\"args\":{\"wave\":" << e.a << "}}";
+      return;
+    case Ev::PgasPut:
+    case Ev::PgasGet:
+    case Ev::PgasAcc:
+      emit_head(os, e, ev_name(e.kind), "i", e.t);
+      os << ",\"s\":\"t\",\"args\":{\"target\":" << e.a
+         << ",\"bytes\":" << e.c << "}}";
+      return;
+    case Ev::PgasRmw:
+      emit_head(os, e, ev_name(e.kind), "i", e.t);
+      os << ",\"s\":\"t\",\"args\":{\"target\":" << e.a << "}}";
+      return;
+    case Ev::Barrier:
+      emit_head(os, e, ev_name(e.kind), "i", e.t);
+      os << ",\"s\":\"t\",\"args\":{}}";
+      return;
+  }
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& os) {
+  const int nranks = session_nranks();
+  os << "{\"displayTimeUnit\":\"ms\",\"otherData\":{\"dropped\":"
+     << total_dropped() << ",\"ranks\":" << nranks << "},\"traceEvents\":[";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) os << ",\n";
+    first = false;
+  };
+  for (Rank r = 0; r < nranks; ++r) {
+    sep();
+    os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << r
+       << ",\"args\":{\"name\":\"rank " << r << "\"}}";
+  }
+  for (Rank r = 0; r < nranks; ++r) {
+    for (const Event& e : events(r)) {
+      sep();
+      emit_event(os, e);
+    }
+  }
+  os << "]}\n";
+}
+
+std::string chrome_trace_json() {
+  std::ostringstream os;
+  write_chrome_trace(os);
+  return os.str();
+}
+
+bool write_chrome_trace_file(const std::string& path) {
+  std::ofstream f(path);
+  if (!f) {
+    SCIOTO_WARN("cannot open trace output file " << path);
+    return false;
+  }
+  write_chrome_trace(f);
+  return f.good();
+}
+
+}  // namespace scioto::trace

@@ -1,0 +1,39 @@
+// Chrome trace-event JSON export of the active trace session.
+//
+// The output is the "JSON object format" understood by Perfetto and
+// chrome://tracing: a top-level object with a `traceEvents` array plus
+// metadata. Mapping:
+//
+//   * one track per rank (pid = rank, with a process_name metadata event
+//     naming it "rank N");
+//   * task executions and tc_process phases are duration pairs (ph B/E);
+//   * coalesced search spells are complete events (ph X) spanning their
+//     accumulated duration;
+//   * queue push/pop/release/reacquire double as counter samples (ph C,
+//     counter "queue") so Perfetto draws the queue-occupancy timeline;
+//   * everything else (steals, tokens, votes, pgas ops, barriers) exports
+//     as thread-scoped instant events (ph i) with payloads in args.
+//
+// Timestamps are microseconds (the format's unit) with nanosecond
+// precision; under the sim backend they are virtual time, making exports
+// bit-reproducible across runs with the same seed.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+namespace scioto::trace {
+
+/// Serializes the active session to `os`. Safe to call with no active
+/// session (writes an empty but valid trace).
+void write_chrome_trace(std::ostream& os);
+
+/// Serializes the active session to a string (used by the determinism and
+/// schema tests).
+std::string chrome_trace_json();
+
+/// Writes the active session to `path`; returns false (with a warning
+/// logged) if the file cannot be opened.
+bool write_chrome_trace_file(const std::string& path);
+
+}  // namespace scioto::trace

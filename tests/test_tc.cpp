@@ -215,6 +215,8 @@ TEST_P(TcBackends, StatsAreConsistent) {
     EXPECT_EQ(g.tasks_stolen, g.tasks_stolen);  // folded without crashing
     EXPECT_GE(g.steal_attempts, g.steals);
     EXPECT_GE(g.time_total, g.time_working);
+    // working and searching are disjoint sub-intervals of the phase.
+    EXPECT_GE(g.time_total, g.time_working + g.time_searching);
     tc.destroy();
   });
 }
@@ -274,6 +276,37 @@ TEST_P(TcBackends, PaperStyleCApi) {
   });
   EXPECT_EQ(c_executed.load(), 20);
   EXPECT_EQ(c_sum.load(), 20L * 21 / 2);
+}
+
+TEST_P(TcBackends, CApiStatsGet) {
+  testing::run(3, GetParam(), [&](Runtime& rt) {
+    capi::RuntimeBinding bind(rt);
+    tc_t tc = tc_create(16, 4, 1024);
+    task_handle_t h = tc_register_callback(tc, [](tc_t, task_t*) {});
+    task_t* task = tc_task_create(0, h);
+    if (tc_mype() == 0) {
+      for (int i = 0; i < 30; ++i) {
+        tc_add(tc, i % 3, TC_AFFINITY_HIGH, task);
+        tc_task_reuse(task);
+      }
+    }
+    tc_process(tc);
+    scioto_stats_t cs;
+    tc_stats_get(tc, &cs);  // collective
+    EXPECT_EQ(cs.tasks_executed, 30u);
+    EXPECT_EQ(cs.tasks_spawned_local + cs.tasks_spawned_remote, 30u);
+    EXPECT_GE(cs.steal_attempts, cs.steals);
+    EXPECT_GE(cs.time_total_ns, cs.time_working_ns + cs.time_searching_ns);
+    EXPECT_GT(cs.time_total_ns, 0);
+    // Collective and repeatable: a second snapshot reads the same state.
+    scioto_stats_t cs2;
+    tc_stats_get(tc, &cs2);
+    EXPECT_EQ(cs.tasks_executed, cs2.tasks_executed);
+    EXPECT_EQ(cs.steals, cs2.steals);
+    EXPECT_EQ(cs.time_total_ns, cs2.time_total_ns);
+    tc_task_destroy(task);
+    tc_destroy(tc);
+  });
 }
 
 TEST_P(TcBackends, RandomRemoteSpawnStress) {
