@@ -15,6 +15,7 @@
 #include "base/options.hpp"
 #include "base/stats.hpp"
 #include "base/table.hpp"
+#include "fault/fault.hpp"
 #include "pgas/runtime.hpp"
 #include "scioto/task_collection.hpp"
 #include "trace/export.hpp"
@@ -31,7 +32,8 @@ struct Fig4Row {
   double mpi_us;
 };
 
-Fig4Row measure(int procs, int trials, const std::string& trace_file = "") {
+Fig4Row measure(int procs, int trials, const std::string& trace_file = "",
+                const std::string& fault_spec = "") {
   Fig4Row row{procs, 0, 0, 0};
   pgas::Config cfg;
   cfg.nranks = procs;
@@ -41,6 +43,13 @@ Fig4Row measure(int procs, int trials, const std::string& trace_file = "") {
   const bool tracing = !trace_file.empty();
   if (tracing) {
     trace::start(procs);
+  }
+  // --fault-plan: detection must still converge with ranks dying between
+  // (or during) waves; killed ranks drop out of the remaining trials and
+  // row means cover survivors only.
+  const bool faulting = !fault_spec.empty();
+  if (faulting) {
+    fault::start(procs, fault::FaultPlan::parse(fault_spec), cfg.seed);
   }
   pgas::run_spmd(cfg, [&](pgas::Runtime& rt) {
     // --- Scioto termination detection after a single no-op task ---
@@ -87,6 +96,12 @@ Fig4Row measure(int procs, int trials, const std::string& trace_file = "") {
       row.mpi_us = mpi.mean();
     }
   });
+  if (faulting) {
+    fault::Summary s = fault::summary();
+    std::printf("faults at %d procs: %lld kills, %d survivors\n", procs,
+                s.kills, fault::alive_count());
+    fault::stop();
+  }
   if (tracing) {
     if (trace::write_chrome_trace_file(trace_file)) {
       std::printf("trace: wrote %s (%d ranks)\n", trace_file.c_str(), procs);
@@ -106,6 +121,9 @@ int main(int argc, char** argv) {
   opts.add_string("trace", "",
                   "write a Chrome trace JSON of the max-procs run (token "
                   "waves, votes, barriers) to this file");
+  opts.add_string("fault-plan", "",
+                  "fault plan (spec/JSON/@file) injected into the max-procs "
+                  "run; detection must still converge on the survivors");
   if (!opts.parse(argc, argv)) return 0;
   const int trials = static_cast<int>(opts.get_int("trials"));
   const int maxp = static_cast<int>(opts.get_int("max-procs"));
@@ -115,7 +133,9 @@ int main(int argc, char** argv) {
   for (int p = 1; p <= maxp; p *= 2) {
     const std::string trace_file =
         p == maxp ? opts.get_string("trace") : std::string();
-    Fig4Row r = measure(p, trials, trace_file);
+    const std::string fault_spec =
+        p == maxp ? opts.get_string("fault-plan") : std::string();
+    Fig4Row r = measure(p, trials, trace_file, fault_spec);
     double ratio = r.mpi_us > 0 ? r.term_us / r.mpi_us : 0;
     // tc_process includes one mandatory phase-entry barrier; the second
     // ratio isolates the detection wave itself, which is what the paper's

@@ -17,6 +17,7 @@
 #include "apps/uts/uts_drivers.hpp"
 #include "base/options.hpp"
 #include "base/table.hpp"
+#include "fault/fault.hpp"
 #include "trace/export.hpp"
 #include "trace/trace.hpp"
 
@@ -26,7 +27,8 @@ using namespace scioto::apps;
 namespace {
 
 UtsResult run_one(int procs, const UtsParams& tree, const UtsRunConfig& rc,
-                  bool mpi_ws, const std::string& trace_file = "") {
+                  bool mpi_ws, const std::string& trace_file = "",
+                  const std::string& fault_spec = "") {
   pgas::Config cfg;
   cfg.nranks = procs;
   cfg.backend = pgas::BackendKind::Sim;
@@ -35,11 +37,27 @@ UtsResult run_one(int procs, const UtsParams& tree, const UtsRunConfig& rc,
   if (tracing) {
     trace::start(procs);
   }
+  // --fault-plan routes the split-queue series through the fault-tolerant
+  // driver: ranks die mid-traversal, survivors adopt their work, and the
+  // traversal-count check below still demands an exact match.
+  const bool faulting = !fault_spec.empty() && !mpi_ws;
+  if (faulting) {
+    fault::start(procs, fault::FaultPlan::parse(fault_spec), cfg.seed);
+  }
   UtsResult res;
   pgas::run_spmd(cfg, [&](pgas::Runtime& rt) {
-    res = mpi_ws ? uts_run_mpi_ws(rt, tree, rc)
-                 : uts_run_scioto(rt, tree, rc);
+    res = mpi_ws     ? uts_run_mpi_ws(rt, tree, rc)
+          : faulting ? uts_run_scioto_ft(rt, tree, rc)
+                     : uts_run_scioto(rt, tree, rc);
   });
+  if (faulting) {
+    fault::Summary s = fault::summary();
+    std::printf("faults at %d procs: %lld kills, %d survivors, "
+                "%llu tasks recovered\n",
+                procs, s.kills, res.survivors,
+                static_cast<unsigned long long>(res.stats.tasks_recovered));
+    fault::stop();
+  }
   if (tracing) {
     if (trace::write_chrome_trace_file(trace_file)) {
       std::printf("trace: wrote %s (%d ranks)\n", trace_file.c_str(), procs);
@@ -60,6 +78,10 @@ int main(int argc, char** argv) {
   opts.add_string("trace", "",
                   "write a Chrome trace JSON of the split-queue run at "
                   "max-procs to this file");
+  opts.add_string("fault-plan", "",
+                  "fault plan (spec/JSON/@file) injected into the "
+                  "split-queue run at max-procs; the traversal must still "
+                  "match the sequential node count exactly");
   if (!opts.parse(argc, argv)) return 0;
 
   UtsParams tree = uts_bench();
@@ -78,7 +100,10 @@ int main(int argc, char** argv) {
     UtsRunConfig split_rc = rc;
     const std::string trace_file =
         p == maxp ? opts.get_string("trace") : std::string();
-    UtsResult split = run_one(p, tree, split_rc, /*mpi_ws=*/false, trace_file);
+    const std::string fault_spec =
+        p == maxp ? opts.get_string("fault-plan") : std::string();
+    UtsResult split = run_one(p, tree, split_rc, /*mpi_ws=*/false, trace_file,
+                              fault_spec);
     SCIOTO_CHECK_MSG(split.counts == expected, "split traversal mismatch");
 
     UtsResult mpi = run_one(p, tree, rc, /*mpi_ws=*/true);

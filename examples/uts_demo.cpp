@@ -8,6 +8,7 @@
 
 #include "apps/uts/uts_drivers.hpp"
 #include "base/options.hpp"
+#include "fault/fault.hpp"
 
 using namespace scioto;
 using namespace scioto::apps;
@@ -56,6 +57,10 @@ int main(int argc, char** argv) {
                                            : QueueMode::Split;
     if (sched == "mpi-ws") {
       res = uts_run_mpi_ws(rt, tree, rc);
+    } else if (fault::active()) {
+      // SCIOTO_FAULT_PLAN armed a fault session in run_spmd: use the
+      // fault-tolerant driver so counts from killed ranks survive.
+      res = uts_run_scioto_ft(rt, tree, rc);
     } else {
       res = uts_run_scioto(rt, tree, rc);
     }

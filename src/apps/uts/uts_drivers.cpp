@@ -1,5 +1,7 @@
 #include "apps/uts/uts_drivers.hpp"
 
+#include "fault/fault.hpp"
+
 namespace scioto::apps {
 
 namespace {
@@ -77,6 +79,74 @@ UtsResult uts_run_scioto(pgas::Runtime& rt, const UtsParams& tree,
   res.stats = g;
   res.steals = g.steals;
   res.tasks_stolen = g.tasks_stolen;
+  tc.destroy();
+  return res;
+}
+
+UtsResult uts_run_scioto_ft(pgas::Runtime& rt, const UtsParams& tree,
+                            const UtsRunConfig& cfg) {
+  TcConfig tcc;
+  tcc.max_task_body = sizeof(UtsNode);
+  tcc.chunk_size = cfg.chunk;
+  tcc.max_tasks_per_rank = cfg.max_tasks;
+  tcc.queue_mode = cfg.queue_mode;
+  tcc.color_optimization = cfg.color_optimization;
+  TaskCollection tc(rt, tcc);
+
+  // Durable per-rank counts: owner-local stores into our own shared patch
+  // cost nothing, and the patch outlives us if we are fail-stopped.
+  pgas::SegId counts_seg = rt.seg_alloc(sizeof(UtsCounts));
+  auto* durable =
+      reinterpret_cast<UtsCounts*>(rt.seg_ptr(counts_seg, rt.me()));
+  *durable = UtsCounts{};
+
+  CloHandle counts_clo = tc.register_clo(durable);
+  TaskHandle h = tc.register_callback([&, counts_clo](TaskContext& ctx) {
+    UtsCounts& counts = ctx.tc.clo<UtsCounts>(counts_clo);
+    process_chain(ctx.body_as<UtsNode>(), tree, cfg.node_cost,
+                  ctx.tc.runtime(), counts, [&](const UtsNode& child) {
+                    Task t = ctx.tc.task_create(sizeof(UtsNode),
+                                                ctx.header.callback);
+                    t.body_as<UtsNode>() = child;
+                    ctx.tc.add_local(t);
+                  });
+  });
+
+  if (rt.me() == 0) {
+    Task t = tc.task_create(sizeof(UtsNode), h);
+    t.body_as<UtsNode>() = uts_root(tree);
+    tc.add_local(t);
+  }
+
+  rt.barrier();
+  TimeNs t0 = rt.now();
+  // Killed ranks throw fault::RankKilled through here; everything below
+  // runs on survivors only (collectives skip the dead).
+  tc.process();
+  TimeNs elapsed = rt.allreduce_max(rt.now() - t0);
+  rt.barrier();
+
+  UtsResult res;
+  // Survivors sum every rank's patch, dead or alive: completed work is
+  // never re-executed (exactly-once), so this total -- not an allreduce
+  // over survivors -- is what must match the sequential count.
+  for (Rank r = 0; r < rt.nprocs(); ++r) {
+    UtsCounts c;
+    rt.get(counts_seg, r, 0, &c, sizeof(c));
+    res.counts.nodes += c.nodes;
+    res.counts.leaves += c.leaves;
+    res.counts.max_depth =
+        std::max<std::int64_t>(res.counts.max_depth, c.max_depth);
+  }
+  res.elapsed = elapsed;
+  res.mnodes_per_sec =
+      static_cast<double>(res.counts.nodes) / (to_sec(elapsed) * 1e6);
+  TcStats g = tc.stats_global();
+  res.stats = g;
+  res.steals = g.steals;
+  res.tasks_stolen = g.tasks_stolen;
+  res.survivors = fault::alive_count();
+  rt.seg_free(counts_seg);
   tc.destroy();
   return res;
 }

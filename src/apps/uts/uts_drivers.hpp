@@ -47,11 +47,22 @@ struct UtsResult {
   /// Full global TcStats snapshot (Scioto runs only; render with
   /// tc_stats_table).
   TcStats stats;
+  /// Ranks still alive at the end of the run (nprocs without faults).
+  int survivors = 0;
 };
 
 /// Collective: UTS under a Scioto task collection.
 UtsResult uts_run_scioto(pgas::Runtime& rt, const UtsParams& tree,
                          const UtsRunConfig& cfg);
+
+/// Collective: UTS under a Scioto task collection with fault recovery.
+/// Per-rank node counts live in shared space, so work completed by a rank
+/// that is later fail-stopped is never lost: survivors sum every rank's
+/// patch (dead ranks' exposed segments stay readable) and the total must
+/// still match uts_sequential() exactly. Ranks killed mid-run propagate
+/// fault::RankKilled out of this call; survivors return normally.
+UtsResult uts_run_scioto_ft(pgas::Runtime& rt, const UtsParams& tree,
+                            const UtsRunConfig& cfg);
 
 /// Collective: UTS under two-sided work stealing with explicit polling.
 UtsResult uts_run_mpi_ws(pgas::Runtime& rt, const UtsParams& tree,

@@ -1,0 +1,329 @@
+#include "fault/plan.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace scioto::fault {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("fault plan: " + what);
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::string lower(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return s;
+}
+
+FaultType parse_type(const std::string& raw) {
+  std::string t = lower(trim(raw));
+  if (t == "kill") return FaultType::Kill;
+  if (t == "stall") return FaultType::Stall;
+  if (t == "drop") return FaultType::Drop;
+  if (t == "delay") return FaultType::Delay;
+  if (t == "dup") return FaultType::Dup;
+  if (t == "trunc" || t == "truncate") return FaultType::Truncate;
+  fail("unknown fault type '" + raw + "'");
+}
+
+OpKind parse_op(const std::string& raw) {
+  std::string o = lower(trim(raw));
+  if (o == "put") return OpKind::Put;
+  if (o == "get") return OpKind::Get;
+  if (o == "add") return OpKind::Add;
+  if (o == "token") return OpKind::Token;
+  if (o == "commit") return OpKind::Commit;
+  if (o == "steal") return OpKind::Steal;
+  if (o == "any" || o == "*") return OpKind::Any;
+  fail("unknown op kind '" + raw + "'");
+}
+
+Rank parse_rank(const std::string& raw) {
+  std::string r = trim(raw);
+  if (r == "*" || r == "any") return kNoRank;
+  char* end = nullptr;
+  long v = std::strtol(r.c_str(), &end, 10);
+  if (end == r.c_str() || *end != '\0') fail("bad rank '" + raw + "'");
+  return static_cast<Rank>(v);
+}
+
+int parse_int(const std::string& raw) {
+  std::string r = trim(raw);
+  char* end = nullptr;
+  long v = std::strtol(r.c_str(), &end, 10);
+  if (end == r.c_str() || *end != '\0') fail("bad integer '" + raw + "'");
+  return static_cast<int>(v);
+}
+
+void apply_kv(FaultEvent& ev, const std::string& key, const std::string& val) {
+  std::string k = lower(trim(key));
+  if (k == "rank") {
+    ev.rank = parse_rank(val);
+  } else if (k == "target") {
+    ev.target = parse_rank(val);
+  } else if (k == "op") {
+    ev.op = parse_op(val);
+  } else if (k == "at") {
+    ev.at = parse_time(val);
+  } else if (k == "dur") {
+    ev.dur = parse_time(val);
+  } else if (k == "count") {
+    ev.count = parse_int(val);
+  } else if (k == "after") {
+    ev.after = parse_int(val);
+  } else if (k == "keep") {
+    ev.keep = parse_int(val);
+  } else {
+    fail("unknown key '" + key + "'");
+  }
+}
+
+void validate(const FaultEvent& ev) {
+  switch (ev.type) {
+    case FaultType::Kill:
+    case FaultType::Stall:
+      if (ev.rank == kNoRank) {
+        fail(std::string(fault_type_name(ev.type)) +
+             " event needs an explicit rank");
+      }
+      break;
+    case FaultType::Drop:
+    case FaultType::Delay:
+    case FaultType::Dup:
+      if (ev.count < 1) fail("op fault needs count >= 1");
+      break;
+    case FaultType::Truncate:
+      if (ev.keep < 0) fail("truncate needs keep >= 0");
+      if (ev.count < 1) fail("truncate needs count >= 1");
+      break;
+  }
+}
+
+FaultEvent parse_compact_event(const std::string& entry) {
+  std::size_t colon = entry.find(':');
+  FaultEvent ev;
+  ev.type = parse_type(colon == std::string::npos ? entry
+                                                  : entry.substr(0, colon));
+  if (colon != std::string::npos) {
+    std::string rest = entry.substr(colon + 1);
+    std::stringstream ss(rest);
+    std::string kv;
+    while (std::getline(ss, kv, ',')) {
+      kv = trim(kv);
+      if (kv.empty()) continue;
+      std::size_t eq = kv.find('=');
+      if (eq == std::string::npos) fail("expected key=value in '" + kv + "'");
+      apply_kv(ev, kv.substr(0, eq), kv.substr(eq + 1));
+    }
+  }
+  validate(ev);
+  return ev;
+}
+
+// ---- minimal JSON-subset parser: array of flat objects, string/number
+// values. No external dependency; rejects anything outside that shape. ----
+
+struct JsonCursor {
+  const std::string& s;
+  std::size_t i = 0;
+
+  void skip_ws() {
+    while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+  }
+  char peek() {
+    skip_ws();
+    if (i >= s.size()) fail("unexpected end of JSON plan");
+    return s[i];
+  }
+  void expect(char c) {
+    if (peek() != c) {
+      fail(std::string("expected '") + c + "' at offset " + std::to_string(i));
+    }
+    ++i;
+  }
+  std::string string_lit() {
+    expect('"');
+    std::string out;
+    while (i < s.size() && s[i] != '"') {
+      if (s[i] == '\\') fail("escapes not supported in plan strings");
+      out += s[i++];
+    }
+    if (i >= s.size()) fail("unterminated string");
+    ++i;
+    return out;
+  }
+  /// A scalar value as its raw text: quoted string or bare number token.
+  std::string scalar() {
+    if (peek() == '"') return string_lit();
+    std::string out;
+    while (i < s.size() &&
+           (std::isalnum(static_cast<unsigned char>(s[i])) || s[i] == '-' ||
+            s[i] == '+' || s[i] == '.')) {
+      out += s[i++];
+    }
+    if (out.empty()) fail("expected value at offset " + std::to_string(i));
+    return out;
+  }
+};
+
+FaultPlan parse_json(const std::string& text) {
+  FaultPlan plan;
+  JsonCursor c{text};
+  c.expect('[');
+  if (c.peek() == ']') {
+    ++c.i;
+    return plan;
+  }
+  while (true) {
+    c.expect('{');
+    FaultEvent ev;
+    bool typed = false;
+    if (c.peek() != '}') {
+      while (true) {
+        std::string key = c.string_lit();
+        c.expect(':');
+        std::string val = c.scalar();
+        if (lower(trim(key)) == "type") {
+          ev.type = parse_type(val);
+          typed = true;
+        } else {
+          apply_kv(ev, key, val);
+        }
+        if (c.peek() == ',') {
+          ++c.i;
+          continue;
+        }
+        break;
+      }
+    }
+    c.expect('}');
+    if (!typed) fail("JSON event missing \"type\"");
+    validate(ev);
+    plan.events.push_back(ev);
+    if (c.peek() == ',') {
+      ++c.i;
+      continue;
+    }
+    break;
+  }
+  c.expect(']');
+  return plan;
+}
+
+}  // namespace
+
+const char* fault_type_name(FaultType t) {
+  switch (t) {
+    case FaultType::Kill:
+      return "kill";
+    case FaultType::Stall:
+      return "stall";
+    case FaultType::Drop:
+      return "drop";
+    case FaultType::Delay:
+      return "delay";
+    case FaultType::Dup:
+      return "dup";
+    case FaultType::Truncate:
+      return "trunc";
+  }
+  return "?";
+}
+
+const char* op_kind_name(OpKind k) {
+  switch (k) {
+    case OpKind::Put:
+      return "put";
+    case OpKind::Get:
+      return "get";
+    case OpKind::Add:
+      return "add";
+    case OpKind::Token:
+      return "token";
+    case OpKind::Commit:
+      return "commit";
+    case OpKind::Steal:
+      return "steal";
+    case OpKind::Any:
+      return "any";
+  }
+  return "?";
+}
+
+TimeNs parse_time(const std::string& raw) {
+  std::string s = trim(raw);
+  if (s.empty()) fail("empty time value");
+  char* end = nullptr;
+  double v = std::strtod(s.c_str(), &end);
+  if (end == s.c_str()) fail("bad time '" + raw + "'");
+  std::string unit = lower(trim(std::string(end)));
+  if (unit.empty() || unit == "ns") return static_cast<TimeNs>(v);
+  if (unit == "us") return static_cast<TimeNs>(v * 1e3);
+  if (unit == "ms") return static_cast<TimeNs>(v * 1e6);
+  if (unit == "s") return static_cast<TimeNs>(v * 1e9);
+  fail("unknown time unit '" + unit + "'");
+}
+
+int FaultPlan::kill_count() const {
+  int n = 0;
+  for (const FaultEvent& ev : events) {
+    if (ev.type == FaultType::Kill) ++n;
+  }
+  return n;
+}
+
+std::string FaultPlan::describe() const {
+  std::ostringstream os;
+  for (const FaultEvent& ev : events) {
+    os << fault_type_name(ev.type);
+    if (ev.rank != kNoRank) os << " rank=" << ev.rank;
+    if (ev.target != kNoRank) os << " target=" << ev.target;
+    if (ev.op != OpKind::Any) os << " op=" << op_kind_name(ev.op);
+    os << " at=" << ev.at << "ns";
+    if (ev.dur > 0) os << " dur=" << ev.dur << "ns";
+    if (ev.type == FaultType::Truncate) os << " keep=" << ev.keep;
+    if (ev.type != FaultType::Kill && ev.type != FaultType::Stall) {
+      os << " count=" << ev.count;
+    }
+    if (ev.after > 0) os << " after=" << ev.after;
+    os << "\n";
+  }
+  return os.str();
+}
+
+FaultPlan FaultPlan::parse(const std::string& spec) {
+  std::string text = trim(spec);
+  if (text.empty()) return FaultPlan{};
+  if (text[0] == '@') {
+    std::ifstream f(text.substr(1));
+    if (!f) fail("cannot open plan file '" + text.substr(1) + "'");
+    std::ostringstream os;
+    os << f.rdbuf();
+    return parse(os.str());
+  }
+  if (text[0] == '[') {
+    return parse_json(text);
+  }
+  FaultPlan plan;
+  std::stringstream ss(text);
+  std::string entry;
+  while (std::getline(ss, entry, ';')) {
+    entry = trim(entry);
+    if (entry.empty()) continue;
+    plan.events.push_back(parse_compact_event(entry));
+  }
+  return plan;
+}
+
+}  // namespace scioto::fault

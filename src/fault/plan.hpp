@@ -1,0 +1,79 @@
+// Fault plans: declarative, deterministic failure schedules.
+//
+// A FaultPlan is a list of FaultEvents parsed from a compact CLI spec, a
+// JSON array, or a file. The fault session (fault.hpp) arms the events and
+// the runtime consults them at well-defined points: safepoints (fail-stop
+// kills), one-sided op issue (drop/delay/duplicate), lock acquisition
+// (holder stalls) and steal hand-off (truncation). Under the sim backend
+// events fire at exact virtual times; under the threads backend they fire
+// after a fixed number of matching operations, so both backends replay a
+// given plan deterministically.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "base/types.hpp"
+
+namespace scioto::fault {
+
+enum class FaultType {
+  Kill,      // fail-stop: rank dies at its next safepoint at/after `at`
+  Stall,     // lock holder sleeps `dur` inside the critical section
+  Drop,      // one-sided op reports failure (no effect applied)
+  Delay,     // one-sided op charged an extra `dur`
+  Dup,       // one-sided op applied twice (idempotence probe)
+  Truncate,  // steal hand-off delivers at most `keep` tasks (0 = abort)
+};
+
+/// Which runtime operation an op-level fault rule matches.
+enum class OpKind {
+  Put,
+  Get,
+  Add,     // remote task add
+  Token,   // termination-detector token put
+  Commit,  // steal-transaction commit write
+  Steal,   // steal hand-off (Truncate only)
+  Any,
+};
+
+struct FaultEvent {
+  FaultType type = FaultType::Kill;
+  Rank rank = kNoRank;      // acting rank (-1 = any): Kill/Stall victim,
+                            // op-fault initiator, Truncate thief
+  Rank target = kNoRank;    // op/steal target rank (-1 = any)
+  OpKind op = OpKind::Any;  // op filter for Drop/Delay/Dup
+  TimeNs at = 0;            // arming virtual time (sim backend)
+  TimeNs dur = 0;           // Stall/Delay duration
+  int count = 1;            // max times an op-level rule fires
+  int after = 0;            // threads backend: fire after N matching ops
+  int keep = 0;             // Truncate: tasks the thief is allowed to take
+};
+
+const char* fault_type_name(FaultType t);
+const char* op_kind_name(OpKind k);
+
+struct FaultPlan {
+  std::vector<FaultEvent> events;
+
+  bool empty() const { return events.empty(); }
+
+  /// Number of Kill events in the plan.
+  int kill_count() const;
+
+  /// One event per line, for logs and the fault demo.
+  std::string describe() const;
+
+  /// Parses a plan from a spec string. Three forms are accepted:
+  ///   - compact:  "kill:rank=3,at=5ms;drop:op=put,rank=1,count=2,at=1ms"
+  ///   - JSON:     '[{"type":"kill","rank":3,"at":"5ms"}, ...]'
+  ///   - file:     "@path/to/plan.json" (contents in either form above)
+  /// Throws std::runtime_error on malformed input.
+  static FaultPlan parse(const std::string& spec);
+};
+
+/// Parses "250", "250ns", "3us", "5ms", "1.5ms", "2s" into nanoseconds.
+/// Bare numbers are nanoseconds. Throws std::runtime_error on bad input.
+TimeNs parse_time(const std::string& s);
+
+}  // namespace scioto::fault

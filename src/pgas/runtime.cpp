@@ -131,6 +131,99 @@ void Runtime::put_strided(SegId id, Rank target, std::size_t offset,
   }
 }
 
+namespace {
+
+/// Shared fault-consultation wrapper for the *_checked ops: charges wire
+/// time (also for drops -- the packet left the NIC either way), applies the
+/// memcpy via `apply` unless dropped, twice on Dup.
+template <class Apply>
+OpStatus checked_one_sided(Backend& backend, fault::OpKind op, Rank me,
+                           Rank target, std::size_t n, Apply&& apply) {
+  if (target == me) {
+    apply();
+    return OpStatus::Ok;
+  }
+  fault::OpFate f = fault::one_sided_fate(op, me, target);
+  if (f.fate == fault::Fate::Delay && f.delay > 0) {
+    backend.charge(f.delay);
+  }
+  backend.rma_charge(target, n);
+  if (f.fate == fault::Fate::Fail) {
+    return OpStatus::Dropped;
+  }
+  apply();
+  if (f.fate == fault::Fate::Dup) {
+    backend.rma_charge(target, n);
+    apply();
+  }
+  return fault::alive(target) ? OpStatus::Ok : OpStatus::TargetDead;
+}
+
+}  // namespace
+
+OpStatus Runtime::get_checked(SegId id, Rank target, std::size_t offset,
+                              void* dst, std::size_t n) {
+  SCIOTO_CHECK(offset + n <= seg_bytes(id));
+  OpStatus st = checked_one_sided(
+      backend_, fault::OpKind::Get, me(), target, n,
+      [&] { std::memcpy(dst, seg_ptr(id, target) + offset, n); });
+  if (target != me() && st != OpStatus::Dropped) {
+    SCIOTO_TRACE_EVENT(me(), trace::Ev::PgasGet, target, 0, n);
+  }
+  return st;
+}
+
+OpStatus Runtime::put_checked(SegId id, Rank target, std::size_t offset,
+                              const void* src, std::size_t n) {
+  SCIOTO_CHECK(offset + n <= seg_bytes(id));
+  OpStatus st = checked_one_sided(
+      backend_, fault::OpKind::Put, me(), target, n,
+      [&] { std::memcpy(seg_ptr(id, target) + offset, src, n); });
+  if (target != me() && st != OpStatus::Dropped) {
+    SCIOTO_TRACE_EVENT(me(), trace::Ev::PgasPut, target, 0, n);
+  }
+  return st;
+}
+
+OpStatus Runtime::get_with_retry(SegId id, Rank target, std::size_t offset,
+                                 void* dst, std::size_t n, int* attempts) {
+  fault::RetryPolicy p = fault::policy();
+  OpStatus st = OpStatus::Dropped;
+  int a = 0;
+  for (; a < p.max_attempts; ++a) {
+    if (a > 0) {
+      charge(fault::backoff(me(), a - 1));
+      relax();
+    }
+    st = get_checked(id, target, offset, dst, n);
+    if (st != OpStatus::Dropped) break;
+  }
+  if (attempts != nullptr) {
+    *attempts = std::min(a + 1, p.max_attempts);
+  }
+  return st;
+}
+
+OpStatus Runtime::put_with_retry(SegId id, Rank target, std::size_t offset,
+                                 const void* src, std::size_t n,
+                                 int* attempts) {
+  fault::RetryPolicy p = fault::policy();
+  OpStatus st = OpStatus::Dropped;
+  int a = 0;
+  for (; a < p.max_attempts; ++a) {
+    if (a > 0) {
+      charge(fault::backoff(me(), a - 1));
+      relax();
+    }
+    st = put_checked(id, target, offset, src, n);
+    if (st != OpStatus::Dropped) break;
+  }
+  if (attempts != nullptr) {
+    *attempts = std::min(a + 1, p.max_attempts);
+  }
+  return st;
+}
+
 void Runtime::acc(SegId id, Rank target, std::size_t offset,
                   const double* src, std::size_t n, double alpha) {
   SCIOTO_CHECK(offset + n * sizeof(double) <= seg_bytes(id));
@@ -306,9 +399,26 @@ RunResult run_spmd(const Config& cfg,
   }
 #endif
 
+  // SCIOTO_FAULT_PLAN=SPEC arms fault injection for any binary. As with
+  // tracing, a session the caller already started takes precedence.
+  const char* fault_spec = std::getenv("SCIOTO_FAULT_PLAN");
+  const bool own_fault = fault_spec != nullptr && *fault_spec != '\0' &&
+                         !fault::active();
+  if (own_fault) {
+    fault::FaultPlan plan = fault::FaultPlan::parse(fault_spec);
+    SCIOTO_REQUIRE(plan.kill_count() == 0 || cfg.backend == BackendKind::Sim,
+                   "fail-stop kills need the deterministic sim backend");
+    fault::start(cfg.nranks, std::move(plan), cfg.seed);
+  }
+
   auto wrap = [&](Runtime& rt, Rank r) {
     try {
       body(rt);
+    } catch (const fault::RankKilled& k) {
+      // Injected fail-stop: this rank simply stops executing; survivors
+      // recover its in-flight work. Not an error.
+      SCIOTO_WARN("rank " << r << " fail-stop injected at t=" << k.at
+                          << " ns");
     } catch (...) {
       bool expected = false;
       if (failed.compare_exchange_strong(expected, true)) {
@@ -339,6 +449,15 @@ RunResult run_spmd(const Config& cfg,
     trace::stop();
   }
 #endif
+
+  if (own_fault) {
+    fault::Summary s = fault::summary();
+    if (s.kills > 0) {
+      SCIOTO_WARN("fault plan injected " << s.kills << " rank failure(s); "
+                  << "drops=" << s.drops << " stalls=" << s.stalls);
+    }
+    fault::stop();
+  }
 
   if (first_error) {
     std::rethrow_exception(first_error);

@@ -25,6 +25,7 @@
 
 #include "base/error.hpp"
 #include "base/types.hpp"
+#include "fault/fault.hpp"
 #include "pgas/backend.hpp"
 #include "sim/machine.hpp"
 
@@ -43,6 +44,14 @@ struct MsgInfo {
   Rank from = kNoRank;
   int tag = 0;
   std::size_t bytes = 0;
+};
+
+/// Result of a failure-aware one-sided op (the *_checked variants).
+enum class OpStatus {
+  Ok,          // applied
+  Dropped,     // a fault rule dropped it; no memory effect -- retry
+  TargetDead,  // applied (recoverable-segment model), but the target rank
+               // is dead; the caller should reroute future traffic
 };
 
 class Runtime {
@@ -96,6 +105,26 @@ class Runtime {
                    std::size_t dst_stride, std::size_t nrows,
                    std::size_t row_bytes, const void* src,
                    std::size_t src_stride);
+
+  // ---- Failure-aware one-sided ops ----
+  //
+  // Same data movement as get/put, but consulting the fault session: an
+  // armed Drop rule makes the op report Dropped (wire time is still
+  // charged, no memory effect); Delay charges extra latency; Dup applies
+  // and charges twice. With no fault session active these reduce to the
+  // plain ops returning Ok. Available on both backends.
+  OpStatus get_checked(SegId id, Rank target, std::size_t offset, void* dst,
+                       std::size_t n);
+  OpStatus put_checked(SegId id, Rank target, std::size_t offset,
+                       const void* src, std::size_t n);
+  /// Retries a Dropped op with deterministic jittered exponential backoff
+  /// (fault::backoff) up to fault::policy().max_attempts attempts. The
+  /// attempt count actually used is reported via `attempts` when non-null.
+  OpStatus get_with_retry(SegId id, Rank target, std::size_t offset,
+                          void* dst, std::size_t n, int* attempts = nullptr);
+  OpStatus put_with_retry(SegId id, Rank target, std::size_t offset,
+                          const void* src, std::size_t n,
+                          int* attempts = nullptr);
 
   /// Atomic accumulate: patch[offset ..] += alpha * src[0..n). Atomic with
   /// respect to other acc/RMW calls (not plain put).
@@ -160,12 +189,18 @@ class Runtime {
     SCIOTO_REQUIRE(sizeof(T) <= kCollSlotBytes, "allreduce value too large");
     std::memcpy(coll_slot(me()), &value, sizeof(T));
     barrier();
-    T acc;
-    std::memcpy(&acc, coll_slot(0), sizeof(T));
-    for (Rank r = 1; r < nprocs(); ++r) {
+    // Dead ranks never reached this collective, so their slots hold stale
+    // bytes from an earlier reduction: skip them. Ranks cannot die inside
+    // the collective (no safepoints here), so all survivors skip the same
+    // set and still agree on the result.
+    T acc{};
+    bool have = false;
+    for (Rank r = 0; r < nprocs(); ++r) {
+      if (!fault::alive(r)) continue;
       T v;
       std::memcpy(&v, coll_slot(r), sizeof(T));
-      acc = combine(acc, v);
+      acc = have ? combine(acc, v) : v;
+      have = true;
     }
     barrier();
     return acc;

@@ -1,6 +1,7 @@
 #include "pgas/sim_backend.hpp"
 
 #include "base/error.hpp"
+#include "fault/fault.hpp"
 #include "trace/trace.hpp"
 
 namespace scioto::pgas {
@@ -92,6 +93,15 @@ void SimBackend::lock(int base, int idx, Rank home) {
   engine_->advance_to(done);
   engine_->lock_acquire(base + idx);
   engine_->advance_unsynced(k.latency);
+  // Injected lock-holder stall: the new holder hangs inside the critical
+  // section, and everyone queued behind it inherits the delay through the
+  // lock's clock handoff.
+  if (fault::active()) {
+    TimeNs stall = fault::stall_time(engine_->current_rank());
+    if (stall > 0) {
+      engine_->advance_unsynced(stall);
+    }
+  }
 }
 
 bool SimBackend::trylock(int base, int idx, Rank home) {

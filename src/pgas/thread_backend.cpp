@@ -1,10 +1,13 @@
 #include "pgas/thread_backend.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <exception>
+#include <thread>
 
 #include "base/error.hpp"
 #include "base/log.hpp"
+#include "fault/fault.hpp"
 #include "trace/trace.hpp"
 
 namespace scioto::pgas {
@@ -91,6 +94,14 @@ int ThreadBackend::lockset_create(int n) {
 
 void ThreadBackend::lock(int base, int idx, Rank) {
   locks_[static_cast<std::size_t>(base + idx)].lock();
+  // Injected lock-holder stall: hold the mutex for the stall duration so
+  // competitors really queue behind the hang, as they would under sim.
+  if (fault::active()) {
+    TimeNs stall = fault::stall_time(me());
+    if (stall > 0) {
+      std::this_thread::sleep_for(std::chrono::nanoseconds(stall));
+    }
+  }
 }
 
 bool ThreadBackend::trylock(int base, int idx, Rank) {

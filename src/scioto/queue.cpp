@@ -27,21 +27,41 @@ SplitQueue::SplitQueue(pgas::Runtime& rt, Config cfg)
   SCIOTO_REQUIRE(cfg_.capacity >= 2, "capacity too small: " << cfg_.capacity);
   SCIOTO_REQUIRE(cfg_.chunk >= 1, "chunk must be >= 1, got " << cfg_.chunk);
   cfg_.slot_bytes = align_up(cfg_.slot_bytes, 8);  // word-wise wf copies
+  ft_ = fault::active();
+  SCIOTO_REQUIRE(!(ft_ && cfg_.mode == QueueMode::WaitFreeSteal),
+                 "fault tolerance requires locked steals: wait-free mode "
+                 "has no lock to anchor the steal transaction");
   internal_cap_ = cfg_.capacity + static_cast<std::uint64_t>(rt.nprocs()) +
                   2 * static_cast<std::uint64_t>(cfg_.chunk);
-  seg_ = rt_.seg_alloc(sizeof(Ctl) + internal_cap_ * cfg_.slot_bytes);
+  const std::size_t nranks = static_cast<std::size_t>(rt.nprocs());
+  slots_off_ = sizeof(Ctl);
+  if (ft_) {
+    txn_off_ = sizeof(Ctl);
+    buf_off_ = txn_off_ + nranks * sizeof(TxnRecord);
+    slots_off_ = buf_off_ + nranks *
+                               static_cast<std::size_t>(cfg_.chunk) *
+                               cfg_.slot_bytes;
+  }
+  seg_ = rt_.seg_alloc(slots_off_ + internal_cap_ * cfg_.slot_bytes);
   if (rt_.me() == 0) {
     // Placement-initialize every rank's control block exactly once.
     for (Rank r = 0; r < rt_.nprocs(); ++r) {
       new (rt_.seg_ptr(seg_, r)) Ctl();
+      if (ft_) {
+        for (Rank t = 0; t < rt_.nprocs(); ++t) {
+          new (rt_.seg_ptr(seg_, r) + txn_off_ +
+               static_cast<std::size_t>(t) * sizeof(TxnRecord)) TxnRecord();
+        }
+      }
     }
   }
   locks_ = rt_.lockset_create();
-  counters_.resize(static_cast<std::size_t>(rt_.nprocs()));
-  reacquire_bufs_.resize(static_cast<std::size_t>(rt_.nprocs()));
+  counters_.resize(nranks);
+  reacquire_bufs_.resize(nranks);
   for (auto& buf : reacquire_bufs_) {
     buf.resize(static_cast<std::size_t>(cfg_.chunk) * cfg_.slot_bytes);
   }
+  overflow_.resize(nranks);
   rt_.barrier();
 }
 
@@ -52,8 +72,20 @@ SplitQueue::Ctl& SplitQueue::ctl(Rank r) {
 }
 
 std::byte* SplitQueue::slot(Rank r, std::uint64_t index) {
-  return rt_.seg_ptr(seg_, r) + sizeof(Ctl) +
+  return rt_.seg_ptr(seg_, r) + slots_off_ +
          (index % internal_cap_) * cfg_.slot_bytes;
+}
+
+SplitQueue::TxnRecord& SplitQueue::txn(Rank victim, Rank thief) {
+  return *reinterpret_cast<TxnRecord*>(
+      rt_.seg_ptr(seg_, victim) + txn_off_ +
+      static_cast<std::size_t>(thief) * sizeof(TxnRecord));
+}
+
+std::byte* SplitQueue::txn_buf(Rank victim, Rank thief) {
+  return rt_.seg_ptr(seg_, victim) + buf_off_ +
+         static_cast<std::size_t>(thief) *
+             static_cast<std::size_t>(cfg_.chunk) * cfg_.slot_bytes;
 }
 
 std::uint64_t SplitQueue::steal_boundary(const Ctl& c) const {
@@ -296,6 +328,7 @@ int SplitQueue::steal_from_locked(Rank victim, std::byte* out) {
   // indices arrive with the lock-acquisition response -- no separate
   // round trip (this is what keeps the paper's remote ops near 5 one-way
   // latencies).
+  Rank me = rt_.me();
   rt_.lock(locks_, victim);
   Ctl& c = ctl(victim);
   std::uint64_t sh = c.steal_head.load(std::memory_order_acquire);
@@ -303,14 +336,207 @@ int SplitQueue::steal_from_locked(Rank victim, std::byte* out) {
   std::uint64_t avail = bd > sh ? bd - sh : 0;
   std::uint64_t n = std::min<std::uint64_t>(
       avail, static_cast<std::uint64_t>(cfg_.chunk));
+  if (ft_ && n > 0 && victim != me) {
+    // Injected message truncation: the steal response carries fewer tasks
+    // than requested, possibly none at all.
+    int allowed = fault::truncate_steal(me, victim, static_cast<int>(n));
+    if (allowed == 0) {
+      rt_.unlock(locks_, victim);
+      counters().steals_aborted++;
+      SCIOTO_TRACE_EVENT(me, trace::Ev::StealAborted, victim, 0, 0);
+      return 0;
+    }
+    n = static_cast<std::uint64_t>(allowed);
+  }
   if (n == 0) {
     rt_.unlock(locks_, victim);
     return 0;
   }
   copy_out_span(victim, sh, n, out);
+  if (ft_ && victim != me) {
+    // Log the in-flight chunk victim-side before releasing the lock: if we
+    // die before requeue+commit, the victim (or its ward) replays it from
+    // this buffer. The ring itself cannot serve as the log -- remote adds
+    // overwrite slots just below steal_head. The data already lives on the
+    // victim, so only the 16-byte record publish is charged.
+    std::byte* buf = txn_buf(victim, me);
+    std::uint64_t first_mod = sh % internal_cap_;
+    std::uint64_t n1 = std::min(n, internal_cap_ - first_mod);
+    std::memcpy(buf, slot(victim, sh), n1 * cfg_.slot_bytes);
+    if (n1 < n) {
+      std::memcpy(buf + n1 * cfg_.slot_bytes, slot(victim, sh + n1),
+                  (n - n1) * cfg_.slot_bytes);
+    }
+    TxnRecord& t = txn(victim, me);
+    t.count.store(n, std::memory_order_relaxed);
+    t.state.store(1, std::memory_order_release);
+    rt_.backend().rma_charge_oneway(victim, sizeof(TxnRecord));
+  }
   c.steal_head.store(sh + n, std::memory_order_release);
   rt_.unlock(locks_, victim);
   return static_cast<int>(n);
+}
+
+void SplitQueue::commit_steal(Rank victim) {
+  if (!ft_ || victim == rt_.me()) {
+    return;
+  }
+  Rank me = rt_.me();
+  TxnRecord& t = txn(victim, me);
+  if (t.state.load(std::memory_order_relaxed) == 0) {
+    return;
+  }
+  int attempt = 0;
+  for (;;) {
+    fault::OpFate f = fault::one_sided_fate(fault::OpKind::Commit, me, victim);
+    if (f.fate == fault::Fate::Fail) {
+      // A lost commit would make the victim replay a chunk we already
+      // requeued, so commits retry past the drop budget (finite by plan).
+      counters().commit_retries++;
+      rt_.charge(fault::backoff(me, attempt++));
+      rt_.relax();
+      continue;
+    }
+    if (f.fate == fault::Fate::Delay && f.delay > 0) {
+      rt_.charge(f.delay);
+    }
+    break;
+  }
+  // Closing the record on a dead victim's (still readable/writable)
+  // segment is exactly what keeps the ward from replaying this chunk.
+  rt_.backend().rma_charge_oneway(victim, sizeof(std::uint64_t));
+  t.state.store(0, std::memory_order_release);
+}
+
+std::uint64_t SplitQueue::recover_open_txns() {
+  if (!ft_) {
+    return 0;
+  }
+  Rank me = rt_.me();
+  std::uint64_t total = 0;
+  for (Rank t = 0; t < rt_.nprocs(); ++t) {
+    TxnRecord& rec = txn(me, t);
+    if (rec.state.load(std::memory_order_acquire) != 1 || fault::alive(t)) {
+      continue;  // no txn, or the thief is alive and will commit itself
+    }
+    TimeNs t0 = rt_.now();
+    std::uint64_t n = rec.count.load(std::memory_order_relaxed);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const std::byte* task =
+          txn_buf(me, t) + static_cast<std::size_t>(i) * cfg_.slot_bytes;
+      if (!push_local(task, kAffinityHigh)) {
+        stash_overflow(task);
+      }
+    }
+    // The dead thief was the only other writer of this record, so a plain
+    // close makes the replay exactly-once even against a later drain.
+    rec.state.store(0, std::memory_order_release);
+    counters().tasks_recovered += n;
+    total += n;
+    SCIOTO_TRACE_EVENT(me, trace::Ev::TaskRecovered, t,
+                       static_cast<std::uint64_t>(n), rt_.now() - t0);
+  }
+  return total;
+}
+
+std::uint64_t SplitQueue::drain_dead(Rank dead) {
+  if (!ft_ || dead == rt_.me() || fault::alive(dead)) {
+    return 0;
+  }
+  Rank me = rt_.me();
+  Ctl& c = ctl(dead);
+  // Unlocked peek first so an idle ward does not hammer the dead rank's
+  // lock when there is nothing left to adopt.
+  rt_.rma_charge(dead, 2 * sizeof(std::uint64_t));
+  std::uint64_t sh = c.steal_head.load(std::memory_order_acquire);
+  std::uint64_t pt = c.priv_tail.load(std::memory_order_acquire);
+  bool txn_work = false;
+  for (Rank t = 0; t < rt_.nprocs() && !txn_work; ++t) {
+    txn_work = txn(dead, t).state.load(std::memory_order_acquire) == 1 &&
+               !fault::alive(t);
+  }
+  if (sh >= pt && !txn_work) {
+    return 0;
+  }
+  TimeNs t0 = rt_.now();
+  std::uint64_t adopted = 0;
+  // The lock still serializes us against thieves that have not yet
+  // observed the death and are stealing from the dead rank's shared
+  // portion.
+  rt_.lock(locks_, dead);
+  sh = c.steal_head.load(std::memory_order_acquire);
+  pt = c.priv_tail.load(std::memory_order_acquire);
+  // Adopt everything in [steal_head, priv_tail): with the owner gone the
+  // private/shared distinction is moot.
+  std::byte* buf = reacquire_bufs_[static_cast<std::size_t>(me)].data();
+  while (sh < pt) {
+    std::uint64_t n = std::min<std::uint64_t>(
+        pt - sh, static_cast<std::uint64_t>(cfg_.chunk));
+    copy_out_span(dead, sh, n, buf);
+    sh += n;
+    c.steal_head.store(sh, std::memory_order_release);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const std::byte* task = buf + static_cast<std::size_t>(i) * cfg_.slot_bytes;
+      if (!push_local(task, kAffinityHigh)) {
+        stash_overflow(task);
+      }
+      ++adopted;
+    }
+  }
+  c.split.store(pt, std::memory_order_release);
+  // Orphaned in-flight steals whose thief also died: nobody else will
+  // replay them. Chunks with a live thief are left alone -- that thief
+  // still requeues and commits them itself.
+  for (Rank t = 0; t < rt_.nprocs(); ++t) {
+    TxnRecord& rec = txn(dead, t);
+    if (rec.state.load(std::memory_order_acquire) != 1 || fault::alive(t)) {
+      continue;
+    }
+    std::uint64_t n = rec.count.load(std::memory_order_relaxed);
+    rt_.rma_charge(dead, n * cfg_.slot_bytes);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const std::byte* task =
+          txn_buf(dead, t) + static_cast<std::size_t>(i) * cfg_.slot_bytes;
+      if (!push_local(task, kAffinityHigh)) {
+        stash_overflow(task);
+      }
+      ++adopted;
+    }
+    rec.state.store(0, std::memory_order_release);
+  }
+  rt_.unlock(locks_, dead);
+  if (adopted > 0) {
+    counters().tasks_recovered += adopted;
+    SCIOTO_TRACE_EVENT(me, trace::Ev::TaskRecovered, dead, adopted,
+                       rt_.now() - t0);
+  }
+  return adopted;
+}
+
+void SplitQueue::stash_overflow(const std::byte* task) {
+  auto& ov = overflow_[static_cast<std::size_t>(rt_.me())];
+  ov.insert(ov.end(), task, task + cfg_.slot_bytes);
+}
+
+bool SplitQueue::overflow_pending() const {
+  return ft_ && !overflow_[static_cast<std::size_t>(rt_.me())].empty();
+}
+
+std::uint64_t SplitQueue::flush_overflow() {
+  if (!ft_) {
+    return 0;
+  }
+  auto& ov = overflow_[static_cast<std::size_t>(rt_.me())];
+  std::uint64_t moved = 0;
+  while (!ov.empty()) {
+    const std::byte* task = ov.data() + ov.size() - cfg_.slot_bytes;
+    if (!push_local(task, kAffinityHigh)) {
+      break;
+    }
+    ov.resize(ov.size() - cfg_.slot_bytes);
+    ++moved;
+  }
+  return moved;
 }
 
 int SplitQueue::steal_from_waitfree(Rank victim, std::byte* out) {
@@ -443,6 +669,13 @@ void SplitQueue::reset_collective() {
   c.steal_head.store(kIndexBase, std::memory_order_relaxed);
   c.split.store(kIndexBase, std::memory_order_relaxed);
   c.priv_tail.store(kIndexBase, std::memory_order_relaxed);
+  if (ft_) {
+    for (Rank t = 0; t < rt_.nprocs(); ++t) {
+      txn(rt_.me(), t).state.store(0, std::memory_order_relaxed);
+      txn(rt_.me(), t).count.store(0, std::memory_order_relaxed);
+    }
+    overflow_[static_cast<std::size_t>(rt_.me())].clear();
+  }
   counters() = Counters{};  // per-phase statistics start fresh
   rt_.barrier();
 }

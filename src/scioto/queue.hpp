@@ -42,6 +42,21 @@
 // Cost model: local lock-free ops charge MachineModel::local_insert/get;
 // remote ops charge lock/RMA/RMW costs through the runtime, which under
 // sim also serializes contenders in virtual time.
+//
+// Fault tolerance (runs with an active fault session only): each rank's
+// patch additionally carries a steal-transaction table -- one record and
+// one chunk-sized buffer per potential thief. A locked steal logs the
+// stolen chunk into the victim's buffer and opens the record before
+// releasing the victim's lock; the thief closes it (commit_steal) only
+// after requeueing every stolen task locally. If the thief dies in
+// between, the victim replays the chunk from its own buffer
+// (recover_open_txns); if the victim dies, its successor ward adopts the
+// whole queue plus any orphaned transactions (drain_dead). Because a
+// remote add overwrites ring slots just below steal_head, the ring itself
+// cannot serve as the recovery log -- the side buffer can. Exactly-once
+// completion holds because kills fire only at safepoints and the
+// requeue+commit sequence contains none. Wait-free steals have no lock to
+// anchor the transaction, so fault mode requires locked steals.
 #pragma once
 
 #include <atomic>
@@ -85,6 +100,9 @@ class SplitQueue {
     std::uint64_t tasks_stolen_in = 0;  // tasks obtained by stealing
     std::uint64_t remote_adds = 0;      // tasks we pushed to other ranks
     std::uint64_t cas_retries = 0;      // wait-free mode only
+    std::uint64_t steals_aborted = 0;   // fault-truncated to zero tasks
+    std::uint64_t tasks_recovered = 0;  // replayed txns + adopted queues
+    std::uint64_t commit_retries = 0;   // dropped commit writes retried
   };
 
   /// Collective: allocates the queue segment and its lock set.
@@ -124,6 +142,24 @@ class SplitQueue {
   /// Returns false if the target queue is full.
   bool add_remote(Rank target, const std::byte* task);
 
+  // ---- Fault recovery (active fault session only; no-ops otherwise) ----
+  /// Thief side: closes the steal transaction opened by the last
+  /// steal_from(victim). Call only after every stolen task has been
+  /// requeued locally -- with no safepoint in between (exactly-once).
+  void commit_steal(Rank victim);
+  /// Victim side: replays chunks whose thief died mid-steal from our own
+  /// transaction buffers. Returns tasks re-enqueued.
+  std::uint64_t recover_open_txns();
+  /// Ward side: adopts a dead rank's entire queue (shared + orphaned
+  /// private portion) plus transactions whose thief also died. Returns
+  /// tasks adopted. Safe to call repeatedly; later calls find nothing.
+  std::uint64_t drain_dead(Rank dead);
+  /// True when recovered tasks are parked in the local overflow stash
+  /// (they count as live work for termination purposes).
+  bool overflow_pending() const;
+  /// Moves stashed overflow tasks back into the queue as space allows.
+  std::uint64_t flush_overflow();
+
   /// Collective: empties every queue (tc_reset).
   void reset_collective();
 
@@ -143,8 +179,20 @@ class SplitQueue {
     std::atomic<std::uint64_t> priv_tail{kIndexBase};
   };
 
+  /// Per-thief steal-transaction record in the victim's patch. `state` is
+  /// 1 while a stolen chunk is copied out but not yet requeued+committed
+  /// by the thief. Only that one thief writes the record while it is
+  /// alive, so recovery flips it without extra synchronization.
+  struct TxnRecord {
+    std::atomic<std::uint64_t> state{0};
+    std::atomic<std::uint64_t> count{0};
+  };
+
   Ctl& ctl(Rank r);
   std::byte* slot(Rank r, std::uint64_t index);
+  TxnRecord& txn(Rank victim, Rank thief);
+  std::byte* txn_buf(Rank victim, Rank thief);
+  void stash_overflow(const std::byte* task);
   /// Steal boundary as seen by thieves: split in split-based modes, the
   /// whole deque in NoSplit.
   std::uint64_t steal_boundary(const Ctl& c) const;
@@ -166,9 +214,17 @@ class SplitQueue {
   std::uint64_t internal_cap_ = 0;
   pgas::SegId seg_ = -1;
   pgas::LockSet locks_;
+  /// Fault mode: patch layout is [Ctl][TxnRecord x n][bufs x n][slots];
+  /// otherwise [Ctl][slots] and the txn offsets are unused.
+  bool ft_ = false;
+  std::size_t txn_off_ = 0;
+  std::size_t buf_off_ = 0;
+  std::size_t slots_off_ = 0;
   std::vector<Counters> counters_;
   /// Per-rank scratch for wait-free reacquire (self-steal buffer).
   std::vector<std::vector<std::byte>> reacquire_bufs_;
+  /// Per-rank stash for recovered tasks that did not fit the queue.
+  std::vector<std::vector<std::byte>> overflow_;
 };
 
 }  // namespace scioto

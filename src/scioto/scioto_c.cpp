@@ -1,9 +1,14 @@
 #include "scioto/scioto_c.h"
 
+#include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <mutex>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "scioto/task_collection.hpp"
 
 namespace {
@@ -130,6 +135,10 @@ void tc_stats_get(tc_t tc, scioto_stats_t* out) {
   out->time_total_ns = g.time_total;
   out->time_working_ns = g.time_working;
   out->time_searching_ns = g.time_searching;
+  out->tasks_recovered = g.tasks_recovered;
+  out->steals_aborted = g.steals_aborted;
+  out->op_retries = g.op_retries;
+  out->td_resplices = g.td_resplices;
 }
 
 task_t* tc_task_create(int body_sz, task_handle_t th) {
@@ -157,5 +166,69 @@ void tc_task_reuse(task_t* task) { (void)task; }
 int tc_mype(void) { return runtime().me(); }
 
 int tc_nprocs(void) { return runtime().nprocs(); }
+
+int scioto_retry_limit(void) { return scioto::fault::policy().max_attempts; }
+
+void scioto_set_retry_limit(int max_attempts) {
+  SCIOTO_REQUIRE(max_attempts >= 1,
+                 "scioto_set_retry_limit: need at least one attempt");
+  scioto::fault::RetryPolicy p = scioto::fault::policy();
+  p.max_attempts = max_attempts;
+  scioto::fault::set_policy(p);
+}
+
+int64_t scioto_backoff_cap_ns(void) {
+  return scioto::fault::policy().backoff_cap;
+}
+
+void scioto_set_backoff_cap_ns(int64_t cap_ns) {
+  SCIOTO_REQUIRE(cap_ns > 0, "scioto_set_backoff_cap_ns: cap must be > 0");
+  scioto::fault::RetryPolicy p = scioto::fault::policy();
+  p.backoff_cap = cap_ns;
+  scioto::fault::set_policy(p);
+}
+
+int64_t scioto_backoff_base_ns(void) {
+  return scioto::fault::policy().backoff_base;
+}
+
+void scioto_set_backoff_base_ns(int64_t base_ns) {
+  SCIOTO_REQUIRE(base_ns > 0, "scioto_set_backoff_base_ns: base must be > 0");
+  scioto::fault::RetryPolicy p = scioto::fault::policy();
+  p.backoff_base = base_ns;
+  scioto::fault::set_policy(p);
+}
+
+namespace {
+std::string& staged_fault_plan() {
+  static std::string spec;
+  return spec;
+}
+}  // namespace
+
+int scioto_fault_plan_set(const char* spec, char* errbuf, int errbuf_len) {
+  if (errbuf != nullptr && errbuf_len > 0) {
+    errbuf[0] = '\0';
+  }
+  if (spec == nullptr || spec[0] == '\0') {
+    staged_fault_plan().clear();
+    ::unsetenv("SCIOTO_FAULT_PLAN");
+    return 0;
+  }
+  try {
+    (void)scioto::fault::FaultPlan::parse(spec);
+  } catch (const std::exception& e) {
+    if (errbuf != nullptr && errbuf_len > 0) {
+      std::strncpy(errbuf, e.what(), static_cast<std::size_t>(errbuf_len) - 1);
+      errbuf[errbuf_len - 1] = '\0';
+    }
+    return -1;
+  }
+  staged_fault_plan() = spec;
+  ::setenv("SCIOTO_FAULT_PLAN", spec, 1);
+  return 0;
+}
+
+const char* scioto_fault_plan(void) { return staged_fault_plan().c_str(); }
 
 }  // extern "C"

@@ -57,6 +57,11 @@ typedef struct scioto_stats {
   int64_t time_total_ns;
   int64_t time_working_ns;
   int64_t time_searching_ns;
+  /* Resilience counters; all zero unless a fault plan was active. */
+  uint64_t tasks_recovered;
+  uint64_t steals_aborted;
+  uint64_t op_retries;
+  uint64_t td_resplices;
 } scioto_stats_t;
 
 /// Collective. Creates a task collection sized for descriptors with up to
@@ -87,6 +92,37 @@ void tc_task_reuse(task_t* task);
 /// GA_Nodeid/GA_Nnodes; provided here for self-contained C-style code).
 int tc_mype(void);
 int tc_nprocs(void);
+
+/* ---- Resilience knobs ----------------------------------------------------
+ * C access to the fault-tolerance layer: the retry discipline for
+ * transient one-sided-op failures (mirrors fault::RetryPolicy) and the
+ * fault-plan passthrough consumed by the next SPMD run. These are
+ * process-global, not per-collection, and may be called before any
+ * runtime is bound. */
+
+/// Max attempts per failed one-sided op before the caller gives up.
+int scioto_retry_limit(void);
+void scioto_set_retry_limit(int max_attempts);
+
+/// Exponential-backoff clamp, in nanoseconds (virtual ns under the sim
+/// backend).
+int64_t scioto_backoff_cap_ns(void);
+void scioto_set_backoff_cap_ns(int64_t cap_ns);
+
+/// First-retry delay, in nanoseconds.
+int64_t scioto_backoff_base_ns(void);
+void scioto_set_backoff_base_ns(int64_t base_ns);
+
+/// Validates `spec` (compact "kill:rank=3,at=5ms;..." form, a JSON array,
+/// or "@file") and stages it in SCIOTO_FAULT_PLAN for the next
+/// scioto::pgas::run_spmd. Returns 0 on success; on parse failure returns
+/// -1, stages nothing, and copies the error message into `errbuf` (when
+/// non-NULL, truncated to errbuf_len). NULL or "" clears the staged plan.
+int scioto_fault_plan_set(const char* spec, char* errbuf, int errbuf_len);
+
+/// The currently staged plan spec ("" when none). Points at storage owned
+/// by the library; valid until the next scioto_fault_plan_set call.
+const char* scioto_fault_plan(void);
 
 }  // extern "C"
 

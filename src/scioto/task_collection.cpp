@@ -22,6 +22,10 @@ TcStats& TcStats::operator+=(const TcStats& o) {
   td_black_votes += o.td_black_votes;
   td_marks_sent += o.td_marks_sent;
   td_marks_skipped += o.td_marks_skipped;
+  tasks_recovered += o.tasks_recovered;
+  steals_aborted += o.steals_aborted;
+  op_retries += o.op_retries;
+  td_resplices += o.td_resplices;
   time_total += o.time_total;
   time_working += o.time_working;
   time_searching += o.time_searching;
@@ -52,6 +56,13 @@ Table tc_stats_table(const TcStats& s) {
   add_u64("td_black_votes", s.td_black_votes);
   add_u64("td_marks_sent", s.td_marks_sent);
   add_u64("td_marks_skipped", s.td_marks_skipped);
+  if (s.tasks_recovered != 0 || s.steals_aborted != 0 || s.op_retries != 0 ||
+      s.td_resplices != 0) {
+    add_u64("tasks_recovered", s.tasks_recovered);
+    add_u64("steals_aborted", s.steals_aborted);
+    add_u64("op_retries", s.op_retries);
+    add_u64("td_resplices", s.td_resplices);
+  }
   add_ms("time_total_ms", s.time_total);
   add_ms("time_working_ms", s.time_working);
   add_ms("time_searching_ms", s.time_searching);
@@ -106,6 +117,9 @@ TaskCollection::TaskCollection(pgas::Runtime& rt, TcConfig cfg)
   for (Rank r = 0; r < n; ++r) {
     rngs_.emplace_back(derive_seed(rt_.seed(), r, /*stream=*/0xA11));
   }
+  epoch_seen_.assign(static_cast<std::size_t>(n), ~std::uint64_t{0});
+  wards_.resize(static_cast<std::size_t>(n));
+  alive_others_.resize(static_cast<std::size_t>(n));
   rt_.barrier();
 }
 
@@ -155,6 +169,14 @@ void TaskCollection::add_raw(Rank where, int affinity,
 
   bool ok;
   if (where == rt_.me()) {
+    ok = queue_->push_local(scratch.data(), affinity);
+    if (ok) {
+      my_stats().tasks_spawned_local++;
+      queue_->release_maybe();
+    }
+  } else if (fault::active() && !fault::alive(where)) {
+    // Redirect: a task aimed at a dead rank lands locally instead of in
+    // dead memory its ward would only have to drain back out.
     ok = queue_->push_local(scratch.data(), affinity);
     if (ok) {
       my_stats().tasks_spawned_local++;
@@ -212,6 +234,8 @@ void TaskCollection::process() {
   std::byte* steal_buf =
       steal_bufs_[static_cast<std::size_t>(rt_.me())].data();
   const int n = rt_.nprocs();
+  const bool ft = fault::active();
+  const std::size_t self = static_cast<std::size_t>(rt_.me());
   const TimeNs t_begin = rt_.now();
   SCIOTO_TRACE_EVENT(rt_.me(), trace::Ev::PhaseBegin, 0, 0, 0);
   TimeNs idle_begin = 0;
@@ -226,6 +250,11 @@ void TaskCollection::process() {
   std::uint64_t idle_iterations = 0;  // watchdog for diagnostics
 
   for (;;) {
+    // 0. Safepoint: injected fail-stop kills fire only here and at the
+    // post-steal safepoint below -- never while holding a lock.
+    if (ft) {
+      fault::poll_safepoint(rt_.me());
+    }
     // 1. Drain local work (head of the queue = highest affinity).
     if (queue_->pop_local(exec_buf)) {
       if (search_accum > 0) {
@@ -247,6 +276,42 @@ void TaskCollection::process() {
 
     // 3. Idle: interleave steal attempts with termination detection.
     idle_begin = rt_.now();
+
+    // 3a. Fault recovery: adopt work stranded by dead ranks before trying
+    // to steal from live ones.
+    if (ft) {
+      std::uint64_t e = fault::epoch();
+      if (e != epoch_seen_[self]) {
+        epoch_seen_[self] = e;
+        wards_[self].clear();
+        alive_others_[self].clear();
+        for (Rank r = 0; r < n; ++r) {
+          if (fault::alive(r)) {
+            if (r != rt_.me()) {
+              alive_others_[self].push_back(r);
+            }
+          } else if (fault::successor(r) == rt_.me()) {
+            wards_[self].push_back(r);
+          }
+        }
+      }
+      std::uint64_t recovered = queue_->recover_open_txns();
+      for (Rank d : wards_[self]) {
+        recovered += queue_->drain_dead(d);
+      }
+      recovered += queue_->flush_overflow();
+      if (recovered > 0) {
+        // Recovered work re-materialized locally without a steal: our next
+        // vote must still be black, or the wave it rode in on could
+        // conclude all-white while these tasks wait to run.
+        td_->mark_self_black();
+        TimeNs spell = rt_.now() - idle_begin;
+        st.time_searching += spell;
+        search_accum += spell;
+        continue;
+      }
+    }
+
     bool got_work = false;
     bool attempted = false;
     if (cfg_.load_balancing && n > 1 && polls_until_steal <= 0) {
@@ -268,11 +333,25 @@ void TaskCollection::process() {
             }
           }
         }
+        if (ft && victim != kNoRank && !fault::alive(victim)) {
+          victim = kNoRank;  // node bias picked a dead rank; resample
+        }
         if (victim == kNoRank) {
-          victim = static_cast<Rank>(
-              rng.next_below(static_cast<std::uint64_t>(n - 1)));
-          if (victim >= rt_.me()) {
-            ++victim;
+          if (ft) {
+            // Sample among live ranks only; stealing from the dead is the
+            // ward's job (drain_dead), not the victim-selection RNG's.
+            const std::vector<Rank>& pool = alive_others_[self];
+            if (pool.empty()) {
+              break;  // sole survivor: nothing left to steal from
+            }
+            victim = pool[static_cast<std::size_t>(
+                rng.next_below(static_cast<std::uint64_t>(pool.size())))];
+          } else {
+            victim = static_cast<Rank>(
+                rng.next_below(static_cast<std::uint64_t>(n - 1)));
+            if (victim >= rt_.me()) {
+              ++victim;
+            }
           }
         }
         if (queue_->peek_shared(victim) == 0) {
@@ -283,6 +362,13 @@ void TaskCollection::process() {
           if (cores > 1 && rt_.machine().same_node(rt_.me(), victim)) {
             st.steals_same_node++;
           }
+          if (ft) {
+            // This is the window the victim-side transaction log protects:
+            // the chunk is copied out but not yet requeued. A kill here
+            // loses only our private copy -- the victim (or its ward)
+            // replays the chunk from the log.
+            fault::poll_safepoint(rt_.me());
+          }
           td_->note_lb_op(victim);
           // The search ends with the successful steal: charge it now, before
           // the stolen task runs, so execution time lands only in
@@ -292,6 +378,22 @@ void TaskCollection::process() {
           search_accum += spell;
           SCIOTO_TRACE_EVENT(rt_.me(), trace::Ev::Search, 0, 0, search_accum);
           search_accum = 0;
+          if (ft) {
+            // Requeue the whole chunk, then close the transaction. No
+            // safepoint separates the requeue from the commit, so the
+            // chunk is either fully on our queue (committed) or fully
+            // replayable from the victim's log -- never both, never
+            // neither: completion is exactly-once.
+            for (int i = 0; i < got; ++i) {
+              bool ok = queue_->push_local(
+                  steal_buf + static_cast<std::size_t>(i) * slot_bytes(),
+                  kAffinityHigh);
+              SCIOTO_CHECK_MSG(ok, "local queue overflow requeueing steal");
+            }
+            queue_->commit_steal(victim);
+            got_work = true;
+            break;
+          }
           // Requeue all but the first stolen task, then execute that one
           // directly from the steal buffer. This guarantees progress per
           // successful steal: requeued tasks are instantly stealable again
@@ -328,6 +430,11 @@ void TaskCollection::process() {
       --polls_until_steal;
     }
 
+    if (ft && queue_->overflow_pending()) {
+      // Recovered tasks parked in the overflow stash are live work the
+      // queue cannot see; keep our vote black until they drain.
+      td_->mark_self_black();
+    }
     if (td_->step() == TerminationDetector::Status::Terminated) {
       TimeNs spell = rt_.now() - idle_begin;
       st.time_searching += spell;
@@ -368,12 +475,17 @@ void TaskCollection::process() {
   st.td_black_votes = tc.black_votes;
   st.td_marks_sent = tc.dirty_marks_sent;
   st.td_marks_skipped = tc.dirty_marks_skipped;
+  st.tasks_recovered = qc.tasks_recovered;
+  st.steals_aborted = qc.steals_aborted;
+  st.op_retries = qc.commit_retries + tc.token_retries;
+  st.td_resplices = tc.resplices;
 }
 
 void TaskCollection::reset() {
   queue_->reset_collective();
   td_->reset();
   stats_[static_cast<std::size_t>(rt_.me())] = TcStats{};
+  epoch_seen_[static_cast<std::size_t>(rt_.me())] = ~std::uint64_t{0};
   rt_.barrier();
 }
 
@@ -384,7 +496,7 @@ TcStats TaskCollection::stats_global() {
   rt_.barrier();
   static_assert(std::is_trivially_copyable_v<TcStats>);
   // Reduce via repeated allreduce_sum of a compact array view.
-  std::uint64_t in[16] = {local.tasks_executed,
+  std::uint64_t in[20] = {local.tasks_executed,
                           local.tasks_spawned_local,
                           local.tasks_spawned_remote,
                           local.steals,
@@ -399,13 +511,17 @@ TcStats TaskCollection::stats_global() {
                           static_cast<std::uint64_t>(local.time_total),
                           static_cast<std::uint64_t>(local.time_working),
                           static_cast<std::uint64_t>(local.time_searching),
-                          local.steals_same_node};
+                          local.steals_same_node,
+                          local.tasks_recovered,
+                          local.steals_aborted,
+                          local.op_retries,
+                          local.td_resplices};
   struct Packed {
-    std::uint64_t v[16];
+    std::uint64_t v[20];
   } packed;
   std::memcpy(packed.v, in, sizeof(in));
   Packed sum = rt_.allreduce(packed, [](Packed a, const Packed& b) {
-    for (int i = 0; i < 16; ++i) a.v[i] += b.v[i];
+    for (int i = 0; i < 20; ++i) a.v[i] += b.v[i];
     return a;
   });
   total.tasks_executed = sum.v[0];
@@ -424,6 +540,10 @@ TcStats TaskCollection::stats_global() {
   total.time_working = static_cast<TimeNs>(sum.v[13]);
   total.time_searching = static_cast<TimeNs>(sum.v[14]);
   total.steals_same_node = sum.v[15];
+  total.tasks_recovered = sum.v[16];
+  total.steals_aborted = sum.v[17];
+  total.op_retries = sum.v[18];
+  total.td_resplices = sum.v[19];
   return total;
 }
 

@@ -78,6 +78,11 @@ struct TcStats {
   std::uint64_t td_black_votes = 0;
   std::uint64_t td_marks_sent = 0;
   std::uint64_t td_marks_skipped = 0;
+  // Fault-recovery work (all zero without an active fault session):
+  std::uint64_t tasks_recovered = 0;  // replayed txns + adopted queues
+  std::uint64_t steals_aborted = 0;   // steals truncated to zero tasks
+  std::uint64_t op_retries = 0;       // dropped commit/token sends retried
+  std::uint64_t td_resplices = 0;     // spanning-tree reconfigurations
   TimeNs time_total = 0;
   TimeNs time_working = 0;   // executing task callbacks
   TimeNs time_searching = 0; // stealing + termination detection
@@ -175,6 +180,13 @@ class TaskCollection {
   std::vector<TcStats> stats_;
   std::vector<std::vector<std::byte>> steal_bufs_;
   std::vector<std::vector<std::byte>> exec_bufs_;
+  /// Fault-recovery state, per rank (used only with an active session).
+  /// epoch_seen_ starts at ~0 so the first idle pass populates the lists.
+  std::vector<std::uint64_t> epoch_seen_;
+  /// Dead ranks whose queues this rank adopts (successor(dead) == me).
+  std::vector<std::vector<Rank>> wards_;
+  /// Alive ranks other than me: the fault-aware victim pool.
+  std::vector<std::vector<Rank>> alive_others_;
   bool live_ = true;
 };
 

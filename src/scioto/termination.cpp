@@ -1,5 +1,6 @@
 #include "scioto/termination.hpp"
 
+#include "fault/fault.hpp"
 #include "trace/trace.hpp"
 
 namespace scioto {
@@ -26,15 +27,7 @@ TerminationDetector::TdCtl& TerminationDetector::ctl(Rank r) {
   return *reinterpret_cast<TdCtl*>(rt_.seg_ptr(seg_, r));
 }
 
-bool TerminationDetector::has_child(int slot) const {
-  return 2 * rt_.me() + 1 + slot < rt_.nprocs();
-}
-
-Rank TerminationDetector::child(int slot) const {
-  return 2 * rt_.me() + 1 + slot;
-}
-
-bool TerminationDetector::is_descendant(Rank v, Rank anc) {
+bool TerminationDetector::pos_is_descendant(int v, int anc) {
   if (v <= anc) {
     return false;  // descendants have strictly larger heap indices
   }
@@ -44,9 +37,80 @@ bool TerminationDetector::is_descendant(Rank v, Rank anc) {
   return v == anc;
 }
 
+bool TerminationDetector::is_descendant(const LocalState& st, Rank v,
+                                        Rank anc) const {
+  if (st.epoch_seen == 0) {
+    // Static tree: rank == heap position.
+    return pos_is_descendant(v, anc);
+  }
+  int pv = -1;
+  int pa = -1;
+  for (std::size_t i = 0; i < st.alive.size(); ++i) {
+    if (st.alive[i] == v) pv = static_cast<int>(i);
+    if (st.alive[i] == anc) pa = static_cast<int>(i);
+  }
+  if (pv < 0 || pa < 0) {
+    return false;
+  }
+  return pos_is_descendant(pv, pa);
+}
+
+void TerminationDetector::maybe_resplice(LocalState& st) {
+  std::uint64_t e = fault::epoch();
+  if (e == st.epoch_seen) {
+    return;
+  }
+  Rank me = rt_.me();
+  st.epoch_seen = e;
+  st.alive = fault::alive_ranks();
+  int pos = 0;
+  for (std::size_t i = 0; i < st.alive.size(); ++i) {
+    if (st.alive[i] == me) {
+      pos = static_cast<int>(i);
+      break;
+    }
+  }
+  st.parent =
+      pos == 0 ? kNoRank : st.alive[static_cast<std::size_t>((pos - 1) / 2)];
+  st.up_slot = pos == 0 ? 0 : (pos - 1) % 2;
+  for (int s = 0; s < 2; ++s) {
+    std::size_t k = static_cast<std::size_t>(2 * pos + 1 + s);
+    st.kids[s] = k < st.alive.size() ? st.alive[k] : kNoRank;
+  }
+  // Restart wave numbering in the new epoch and force our next vote black:
+  // together these guarantee no all-white decision rests on votes cast
+  // before the death, so termination is never declared early.
+  st.wave_seen = 0;
+  st.voted_wave = 0;
+  st.self_black = true;
+  my_counters().resplices++;
+  SCIOTO_TRACE_EVENT(me, trace::Ev::TreeRespliced, static_cast<long long>(e),
+                     static_cast<long long>(st.alive.size()), 0);
+}
+
 template <class T, class V>
 void TerminationDetector::put_token(Rank target, std::atomic<T>& field,
                                     V value, [[maybe_unused]] int what) {
+  if (fault::active()) {
+    int attempt = 0;
+    for (;;) {
+      fault::OpFate f =
+          fault::one_sided_fate(fault::OpKind::Token, rt_.me(), target);
+      if (f.fate == fault::Fate::Fail) {
+        // A silently lost wave token stalls detection forever, so token
+        // delivery retries past the drop rule's budget (plans carry finite
+        // drop counts, so this terminates).
+        my_counters().token_retries++;
+        rt_.charge(fault::backoff(rt_.me(), attempt++));
+        rt_.relax();
+        continue;
+      }
+      if (f.fate == fault::Fate::Delay && f.delay > 0) {
+        rt_.charge(f.delay);
+      }
+      break;
+    }
+  }
   rt_.backend().rma_charge_oneway(target, sizeof(T));
   field.store(static_cast<T>(value), std::memory_order_release);
   SCIOTO_TRACE_EVENT(rt_.me(), trace::Ev::TokenSend, target, what, 0);
@@ -59,8 +123,16 @@ void TerminationDetector::reset_local() {
   my.up[1].store(0, std::memory_order_relaxed);
   my.term_wave.store(0, std::memory_order_relaxed);
   my.dirty.store(0, std::memory_order_relaxed);
-  state_[static_cast<std::size_t>(rt_.me())] = LocalState{};
-  counters_[static_cast<std::size_t>(rt_.me())] = Counters{};
+  LocalState st{};
+  Rank me = rt_.me();
+  st.parent = me == 0 ? kNoRank : (me - 1) / 2;
+  st.up_slot = me == 0 ? 0 : (me - 1) % 2;
+  for (int s = 0; s < 2; ++s) {
+    Rank c = 2 * me + 1 + s;
+    st.kids[s] = c < rt_.nprocs() ? c : kNoRank;
+  }
+  state_[static_cast<std::size_t>(me)] = std::move(st);
+  counters_[static_cast<std::size_t>(me)] = Counters{};
 }
 
 void TerminationDetector::reset() {
@@ -73,17 +145,26 @@ void TerminationDetector::note_lb_op(Rank other) {
   LocalState& st = state_[static_cast<std::size_t>(rt_.me())];
   st.self_black = true;
 
+  if (fault::active() && !fault::alive(other)) {
+    // A dead partner never votes again; our own black vote covers the op.
+    my_counters().dirty_marks_skipped++;
+    return;
+  }
   if (cfg_.color_optimization) {
     // Skip the mark if we have not voted in the newest wave we know of:
     // our own future vote will be black and forces the re-vote anyway.
     bool have_voted = st.voted_wave > 0 && st.voted_wave == st.wave_seen;
-    if (!have_voted || is_descendant(other, rt_.me())) {
+    if (!have_voted || is_descendant(st, other, rt_.me())) {
       my_counters().dirty_marks_skipped++;
       return;
     }
   }
   put_token(other, ctl(other).dirty, 1u, /*what=*/3);
   my_counters().dirty_marks_sent++;
+}
+
+void TerminationDetector::mark_self_black() {
+  state_[static_cast<std::size_t>(rt_.me())].self_black = true;
 }
 
 TerminationDetector::Status TerminationDetector::step() {
@@ -93,16 +174,34 @@ TerminationDetector::Status TerminationDetector::step() {
     return Status::Terminated;
   }
   rt_.charge(rt_.machine().poll);
+  if (fault::active()) {
+    maybe_resplice(st);
+  }
   TdCtl& my = ctl(me);
+  ++st.steps;
 
   // ---- Termination broadcast ----
   std::uint64_t tw = my.term_wave.load(std::memory_order_acquire);
+  if (tw == 0 && st.epoch_seen > 0 && st.parent != kNoRank &&
+      (st.steps & 7u) == 0) {
+    // Post-resplice liveness: a decision broadcast down the old tree can
+    // strand behind a dead (or already-terminated) forwarder, so poll the
+    // current parent's mailbox directly now and then. Chained polling
+    // percolates the decision down the new tree.
+    rt_.rma_charge(st.parent, sizeof(std::uint64_t));
+    tw = ctl(st.parent).term_wave.load(std::memory_order_acquire);
+    if (tw != 0) {
+      my.term_wave.store(tw, std::memory_order_relaxed);
+    }
+  }
   if (tw != 0) {
+    // Accepted regardless of epoch: an all-white wave certifies there was
+    // globally no work, a fact later deaths cannot un-make.
     if (!st.term_forwarded) {
       st.term_forwarded = true;
       for (int s = 0; s < 2; ++s) {
-        if (has_child(s)) {
-          put_token(child(s), ctl(child(s)).term_wave, tw, /*what=*/2);
+        if (st.kids[s] != kNoRank) {
+          put_token(st.kids[s], ctl(st.kids[s]).term_wave, tw, /*what=*/2);
         }
       }
     }
@@ -111,28 +210,31 @@ TerminationDetector::Status TerminationDetector::step() {
     return Status::Terminated;
   }
 
+  bool root = st.parent == kNoRank;
+
   // ---- Down wave ----
-  if (me == 0) {
+  if (root) {
     if (st.wave_seen == st.voted_wave) {
       // Previous wave concluded (or none started): launch the next one.
       ++st.wave_seen;
       my_counters().waves_started++;
       SCIOTO_TRACE_EVENT(me, trace::Ev::WaveStart, st.wave_seen, 0, 0);
       for (int s = 0; s < 2; ++s) {
-        if (has_child(s)) {
-          put_token(child(s), ctl(child(s)).down_wave, st.wave_seen,
-                    /*what=*/0);
+        if (st.kids[s] != kNoRank) {
+          put_token(st.kids[s], ctl(st.kids[s]).down_wave,
+                    tag(st.epoch_seen, st.wave_seen), /*what=*/0);
         }
       }
     }
   } else {
     std::uint64_t dw = my.down_wave.load(std::memory_order_acquire);
-    if (dw > st.wave_seen) {
-      st.wave_seen = dw;
+    if ((dw >> kEpochShift) == st.epoch_seen &&
+        (dw & kWaveMask) > st.wave_seen) {
+      st.wave_seen = dw & kWaveMask;
       for (int s = 0; s < 2; ++s) {
-        if (has_child(s)) {
-          put_token(child(s), ctl(child(s)).down_wave, st.wave_seen,
-                    /*what=*/0);
+        if (st.kids[s] != kNoRank) {
+          put_token(st.kids[s], ctl(st.kids[s]).down_wave,
+                    tag(st.epoch_seen, st.wave_seen), /*what=*/0);
         }
       }
     }
@@ -140,12 +242,13 @@ TerminationDetector::Status TerminationDetector::step() {
 
   // ---- Up wave: vote once per wave, when idle and children reported ----
   if (st.wave_seen > st.voted_wave) {
+    std::uint64_t expected = tag(st.epoch_seen, st.wave_seen);
     bool children_in = true;
     bool children_black = false;
     for (int s = 0; s < 2; ++s) {
-      if (!has_child(s)) continue;
+      if (st.kids[s] == kNoRank) continue;
       std::uint64_t u = my.up[s].load(std::memory_order_acquire);
-      if ((u >> 1) != st.wave_seen) {
+      if ((u >> 1) != expected) {
         children_in = false;
         break;
       }
@@ -161,17 +264,15 @@ TerminationDetector::Status TerminationDetector::step() {
         my_counters().black_votes++;
       }
       SCIOTO_TRACE_EVENT(me, trace::Ev::Vote, st.wave_seen, black ? 1 : 0, 0);
-      if (me == 0) {
+      if (root) {
         if (!black) {
           // All-white wave: decide termination and broadcast.
-          my.term_wave.store(st.wave_seen, std::memory_order_release);
+          my.term_wave.store(expected, std::memory_order_release);
         }
         // Black: the next step() launches a fresh wave.
       } else {
-        Rank parent = (me - 1) / 2;
-        int slot = (me - 1) % 2;
-        put_token(parent, ctl(parent).up[slot],
-                  (st.wave_seen << 1) | (black ? 1u : 0u), /*what=*/1);
+        put_token(st.parent, ctl(st.parent).up[st.up_slot],
+                  (expected << 1) | (black ? 1u : 0u), /*what=*/1);
       }
     }
   }
@@ -186,6 +287,8 @@ TerminationDetector::Counters TerminationDetector::counters_sum() const {
   total.dirty_marks_sent = rt_.allreduce_sum(local.dirty_marks_sent);
   total.dirty_marks_skipped = rt_.allreduce_sum(local.dirty_marks_skipped);
   total.waves_started = rt_.allreduce_sum(local.waves_started);
+  total.resplices = rt_.allreduce_sum(local.resplices);
+  total.token_retries = rt_.allreduce_sum(local.token_retries);
   return total;
 }
 

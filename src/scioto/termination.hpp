@@ -22,6 +22,20 @@
 // is a descendant of pt in the tree (pv votes before pt: if pt has voted,
 // pv's vote is already folded into pt's subtree token and the mark could
 // not change this wave's outcome).
+//
+// Fault tolerance (fault::active() runs only): every rank death bumps the
+// fault epoch, and each rank re-splices the spanning tree over the alive
+// ranks on its next step() -- the rank at alive-position p parents
+// position (p-1)/2, so a dead root is replaced too. Tokens carry the
+// epoch in their top bits; a token minted in an older epoch is ignored,
+// and every rank forces its first post-resplice vote black, so no wave
+// that straddles a death can ever conclude all-white (termination is
+// never declared early). Termination broadcasts are accepted regardless
+// of epoch -- an all-white wave certifies there is globally no work, a
+// fact later deaths cannot un-make -- and, post-resplice, ranks also
+// periodically poll their (new) parent's term flag, so a decision routed
+// through the old tree still reaches everyone. Token puts retry dropped
+// sends with jittered exponential backoff.
 #pragma once
 
 #include <atomic>
@@ -45,7 +59,9 @@ class TerminationDetector {
     std::uint64_t black_votes = 0;
     std::uint64_t dirty_marks_sent = 0;
     std::uint64_t dirty_marks_skipped = 0;
-    std::uint64_t waves_started = 0;  // root only
+    std::uint64_t waves_started = 0;   // root only
+    std::uint64_t resplices = 0;       // tree reconfigurations observed
+    std::uint64_t token_retries = 0;   // dropped token sends retried
   };
 
   /// Collective: allocates the token mailboxes.
@@ -73,6 +89,10 @@ class TerminationDetector {
   /// dirty unless the coloring optimization proves it unnecessary.
   void note_lb_op(Rank other);
 
+  /// Colors this rank's next vote black without marking anyone dirty
+  /// (used when work appears locally through fault recovery).
+  void mark_self_black();
+
   const Counters& counters() const {
     return counters_[static_cast<std::size_t>(rt_.me())];
   }
@@ -90,18 +110,14 @@ class TerminationDetector {
     std::atomic<std::uint32_t> dirty{0};
   };
 
-  TdCtl& ctl(Rank r);
-  Counters& my_counters() {
-    return counters_[static_cast<std::size_t>(rt_.me())];
+  // Tokens are (epoch << kEpochShift) | wave; with no fault session the
+  // epoch stays 0 and the encoding is the identity, so the fault-free
+  // protocol (and its traces) are bit-identical to the plain design.
+  static constexpr int kEpochShift = 48;
+  static constexpr std::uint64_t kWaveMask = (1ull << kEpochShift) - 1;
+  static std::uint64_t tag(std::uint64_t epoch, std::uint64_t wave) {
+    return (epoch << kEpochShift) | wave;
   }
-  bool has_child(int slot) const;
-  Rank child(int slot) const;
-  /// True if `v` is a strict descendant of `anc` in the spanning tree.
-  static bool is_descendant(Rank v, Rank anc);
-  /// One-sided 8-byte put of a token field. `what` names the field for the
-  /// trace stream (0=down, 1=up, 2=term, 3=dirty).
-  template <class T, class V>
-  void put_token(Rank target, std::atomic<T>& field, V value, int what);
 
   struct LocalState {
     std::uint64_t wave_seen = 0;   // latest down-wave observed/forwarded
@@ -109,7 +125,33 @@ class TerminationDetector {
     bool self_black = false;       // LB op performed since last vote
     bool term_forwarded = false;
     bool terminated = false;
+    // Spanning-tree neighbours; static heap positions until a fault epoch
+    // forces a resplice over the alive ranks.
+    std::uint64_t epoch_seen = 0;
+    std::uint64_t steps = 0;       // poll counter (term-adoption cadence)
+    Rank parent = kNoRank;
+    int up_slot = 0;               // which of parent's up[] slots is ours
+    Rank kids[2] = {kNoRank, kNoRank};
+    std::vector<Rank> alive;       // alive list backing the respliced tree
   };
+
+  TdCtl& ctl(Rank r);
+  Counters& my_counters() {
+    return counters_[static_cast<std::size_t>(rt_.me())];
+  }
+  /// Heap-order descendant test over positions 0..n-1.
+  static bool pos_is_descendant(int v, int anc);
+  /// True if `v` is a strict descendant of `anc` in the current tree.
+  bool is_descendant(const LocalState& st, Rank v, Rank anc) const;
+  /// Recomputes this rank's tree neighbours when the fault epoch moved;
+  /// resets wave state and forces the next vote black.
+  void maybe_resplice(LocalState& st);
+  /// One-sided 8-byte put of a token field. `what` names the field for the
+  /// trace stream (0=down, 1=up, 2=term, 3=dirty). Under fault injection,
+  /// dropped sends are retried with jittered exponential backoff (token
+  /// delivery is protocol-critical: a lost wave token stalls detection).
+  template <class T, class V>
+  void put_token(Rank target, std::atomic<T>& field, V value, int what);
 
   pgas::Runtime& rt_;
   Config cfg_;

@@ -147,6 +147,11 @@ void Engine::run() {
     if (st.fiber->finished()) {
       st.finished = true;
       --unfinished_;
+      // A rank that exits (e.g. killed by fault injection) may have been
+      // the last participant a pending barrier was waiting for: the
+      // barrier counts `unfinished_` ranks, so recheck it now or the
+      // survivors blocked inside it would never be released.
+      maybe_release_barrier();
     }
   }
 
@@ -281,6 +286,12 @@ void Engine::barrier(TimeNs total_cost) {
     return;
   }
   // Last arriver releases everyone at max(arrival) + cost.
+  TimeNs release = release_barrier();
+  advance_to(release);
+}
+
+TimeNs Engine::release_barrier() {
+  BarrierState& b = barrier_;
   TimeNs release = b.max_arrival + b.max_cost;
   for (Rank r : b.waiting) {
     wake(r, release);
@@ -289,7 +300,13 @@ void Engine::barrier(TimeNs total_cost) {
   b.arrived = 0;
   b.max_arrival = 0;
   b.max_cost = 0;
-  advance_to(release);
+  return release;
+}
+
+void Engine::maybe_release_barrier() {
+  if (barrier_.arrived > 0 && barrier_.arrived >= unfinished_) {
+    release_barrier();
+  }
 }
 
 }  // namespace scioto::sim

@@ -139,6 +139,11 @@ class Engine {
   void block();
   /// Reschedules rank r at virtual time >= at.
   void wake(Rank r, TimeNs at);
+  /// Wakes everyone parked in the barrier; returns the release time.
+  TimeNs release_barrier();
+  /// Releases the pending barrier if every still-unfinished rank has
+  /// arrived (called when a rank finishes early, e.g. fault-injected).
+  void maybe_release_barrier();
   [[noreturn]] void report_deadlock();
 
   Config cfg_;

@@ -39,18 +39,28 @@ std::uint64_t StealMatrix::total_tasks() const {
   return s;
 }
 
+std::uint64_t StealMatrix::total_recovered() const {
+  std::uint64_t s = 0;
+  for (std::uint64_t v : recovered) s += v;
+  return s;
+}
+
 Table StealMatrix::table() const {
+  const bool with_recovery = total_recovered() > 0;
   std::vector<std::string> headers;
-  headers.reserve(static_cast<std::size_t>(nranks) + 2);
+  headers.reserve(static_cast<std::size_t>(nranks) + 3);
   headers.push_back("thief\\victim");
   for (Rank v = 0; v < nranks; ++v) {
     headers.push_back("r" + std::to_string(v));
   }
   headers.push_back("total");
+  if (with_recovery) {
+    headers.push_back("recovered");
+  }
   Table t(std::move(headers));
   for (Rank thief = 0; thief < nranks; ++thief) {
     std::vector<std::string> row;
-    row.reserve(static_cast<std::size_t>(nranks) + 2);
+    row.reserve(static_cast<std::size_t>(nranks) + 3);
     row.push_back("r" + std::to_string(thief));
     std::uint64_t row_total = 0;
     for (Rank victim = 0; victim < nranks; ++victim) {
@@ -59,6 +69,13 @@ Table StealMatrix::table() const {
       row.push_back(Table::fmt(static_cast<std::int64_t>(n)));
     }
     row.push_back(Table::fmt(static_cast<std::int64_t>(row_total)));
+    if (with_recovery) {
+      std::uint64_t rec = 0;
+      for (Rank source = 0; source < nranks; ++source) {
+        rec += recovered_at(thief, source);
+      }
+      row.push_back(Table::fmt(static_cast<std::int64_t>(rec)));
+    }
     t.add_row(std::move(row));
   }
   return t;
@@ -72,18 +89,20 @@ StealMatrix steal_matrix(const std::vector<Event>& events, int nranks) {
       static_cast<std::size_t>(nranks) * static_cast<std::size_t>(nranks);
   m.steals.assign(n2, 0);
   m.tasks.assign(n2, 0);
+  m.recovered.assign(n2, 0);
   for (const Event& e : events) {
-    if (e.kind != Ev::StealOk || !rank_ok(e, nranks)) {
-      continue;
-    }
-    if (e.a < 0 || e.a >= nranks) {
+    if (!rank_ok(e, nranks) || e.a < 0 || e.a >= nranks) {
       continue;
     }
     std::size_t idx = static_cast<std::size_t>(e.rank) *
                           static_cast<std::size_t>(nranks) +
                       static_cast<std::size_t>(e.a);
-    m.steals[idx] += 1;
-    m.tasks[idx] += static_cast<std::uint64_t>(e.b);
+    if (e.kind == Ev::StealOk) {
+      m.steals[idx] += 1;
+      m.tasks[idx] += static_cast<std::uint64_t>(e.b);
+    } else if (e.kind == Ev::TaskRecovered) {
+      m.recovered[idx] += static_cast<std::uint64_t>(e.b);
+    }
   }
   return m;
 }
@@ -107,6 +126,9 @@ std::vector<RankBreakdown> time_breakdown(const std::vector<Event>& events,
       case Ev::Search:
         rb.searching += e.c;
         break;
+      case Ev::TaskRecovered:
+        rb.recovering += e.c;
+        break;
       default:
         break;
     }
@@ -115,22 +137,40 @@ std::vector<RankBreakdown> time_breakdown(const std::vector<Event>& events,
 }
 
 Table breakdown_table(const std::vector<RankBreakdown>& rows) {
-  Table t({"rank", "total_ms", "working_ms", "searching_ms", "other_ms",
-           "working_pct", "searching_pct"});
+  bool with_recovery = false;
+  for (const RankBreakdown& rb : rows) {
+    with_recovery = with_recovery || rb.recovering > 0;
+  }
+  std::vector<std::string> headers = {"rank", "total_ms", "working_ms",
+                                      "searching_ms"};
+  if (with_recovery) {
+    headers.push_back("recovering_ms");
+  }
+  headers.insert(headers.end(),
+                 {"other_ms", "working_pct", "searching_pct"});
+  Table t(std::move(headers));
   RankBreakdown sum;
+  auto emit = [&](const std::string& name, const RankBreakdown& rb) {
+    std::vector<std::string> row = {name, ns_to_ms(rb.total),
+                                    ns_to_ms(rb.working),
+                                    ns_to_ms(rb.searching)};
+    if (with_recovery) {
+      row.push_back(ns_to_ms(rb.recovering));
+    }
+    row.insert(row.end(),
+               {ns_to_ms(rb.other()), pct(rb.working, rb.total),
+                pct(rb.searching, rb.total)});
+    t.add_row(std::move(row));
+  };
   for (std::size_t r = 0; r < rows.size(); ++r) {
     const RankBreakdown& rb = rows[r];
     sum.total += rb.total;
     sum.working += rb.working;
     sum.searching += rb.searching;
-    t.add_row({"r" + std::to_string(r), ns_to_ms(rb.total),
-               ns_to_ms(rb.working), ns_to_ms(rb.searching),
-               ns_to_ms(rb.other()), pct(rb.working, rb.total),
-               pct(rb.searching, rb.total)});
+    sum.recovering += rb.recovering;
+    emit("r" + std::to_string(r), rb);
   }
-  t.add_row({"TOTAL", ns_to_ms(sum.total), ns_to_ms(sum.working),
-             ns_to_ms(sum.searching), ns_to_ms(sum.other()),
-             pct(sum.working, sum.total), pct(sum.searching, sum.total)});
+  emit("TOTAL", sum);
   return t;
 }
 

@@ -6,10 +6,11 @@
 //
 //   * steal_matrix       -- who stole from whom, and how many tasks moved:
 //                           the load-balance picture behind Figures 5-8;
-//   * time_breakdown     -- per-rank working / searching / other time.
-//                           Sums the same instrumentation samples TcStats
-//                           accumulates, so the two must reconcile (the
-//                           trace test asserts agreement within 1%);
+//   * time_breakdown     -- per-rank working / searching / recovering /
+//                           other time. Sums the same instrumentation
+//                           samples TcStats accumulates, so the two must
+//                           reconcile (the trace test asserts agreement
+//                           within 1%);
 //   * occupancy_timeline -- (time, queue size) samples per rank from the
 //                           owner's push/pop/release/reacquire events.
 #pragma once
@@ -29,6 +30,10 @@ struct StealMatrix {
   int nranks = 0;
   std::vector<std::uint64_t> steals;  // successful steal operations
   std::vector<std::uint64_t> tasks;   // tasks moved by those steals
+  /// Tasks that moved through fault recovery instead of a steal: row =
+  /// recovering rank, column = the dead rank the work came from
+  /// (TaskRecovered events). All-zero in fault-free runs.
+  std::vector<std::uint64_t> recovered;
 
   std::uint64_t steals_at(Rank thief, Rank victim) const {
     return steals[static_cast<std::size_t>(thief) *
@@ -40,10 +45,18 @@ struct StealMatrix {
                      static_cast<std::size_t>(nranks) +
                  static_cast<std::size_t>(victim)];
   }
+  std::uint64_t recovered_at(Rank by, Rank source) const {
+    return recovered[static_cast<std::size_t>(by) *
+                         static_cast<std::size_t>(nranks) +
+                     static_cast<std::size_t>(source)];
+  }
   std::uint64_t total_steals() const;
   std::uint64_t total_tasks() const;
+  std::uint64_t total_recovered() const;
 
-  /// Renders "tasks stolen" as a thief-row x victim-column table.
+  /// Renders "tasks stolen" as a thief-row x victim-column table; when any
+  /// recovery happened, a trailing "recovered" column reports tasks each
+  /// rank adopted from dead ranks.
   Table table() const;
 };
 
@@ -51,12 +64,13 @@ StealMatrix steal_matrix(const std::vector<Event>& events, int nranks);
 
 /// Per-rank time decomposition of the tc_process phase(s).
 struct RankBreakdown {
-  TimeNs total = 0;      // sum of PhaseEnd durations
-  TimeNs working = 0;    // sum of TaskEnd durations
-  TimeNs searching = 0;  // sum of Search spell durations
-  /// Phase time not spent executing tasks or searching (queue management,
-  /// residual scheduling overhead).
-  TimeNs other() const { return total - working - searching; }
+  TimeNs total = 0;       // sum of PhaseEnd durations
+  TimeNs working = 0;     // sum of TaskEnd durations
+  TimeNs searching = 0;   // sum of Search spell durations
+  TimeNs recovering = 0;  // sum of TaskRecovered durations (fault runs)
+  /// Phase time not spent executing tasks, searching, or recovering
+  /// (queue management, residual scheduling overhead).
+  TimeNs other() const { return total - working - searching - recovering; }
 };
 
 std::vector<RankBreakdown> time_breakdown(const std::vector<Event>& events,

@@ -58,6 +58,11 @@ const char* ev_category(Ev kind) {
     case Ev::PhaseBegin:
     case Ev::PhaseEnd:
       return "sched";
+    case Ev::FaultInjected:
+    case Ev::StealAborted:
+    case Ev::TaskRecovered:
+    case Ev::TreeRespliced:
+      return "fault";
   }
   return "?";
 }
@@ -150,6 +155,27 @@ void emit_event(std::ostream& os, const Event& e) {
     case Ev::Barrier:
       emit_head(os, e, ev_name(e.kind), "i", e.t);
       os << ",\"s\":\"t\",\"args\":{}}";
+      return;
+    case Ev::FaultInjected:
+      // Process-scope instant: a fault is a machine event, not a rank op.
+      emit_head(os, e, ev_name(e.kind), "i", e.t);
+      os << ",\"s\":\"p\",\"args\":{\"fault\":" << e.a
+         << ",\"target\":" << e.b << ",\"param\":" << e.c << "}}";
+      return;
+    case Ev::StealAborted:
+      emit_head(os, e, ev_name(e.kind), "i", e.t);
+      os << ",\"s\":\"t\",\"args\":{\"victim\":" << e.a
+         << ",\"reason\":" << e.b << "}}";
+      return;
+    case Ev::TaskRecovered:
+      emit_head(os, e, ev_name(e.kind), "i", e.t);
+      os << ",\"s\":\"t\",\"args\":{\"source\":" << e.a
+         << ",\"tasks\":" << e.b << ",\"dur_ns\":" << e.c << "}}";
+      return;
+    case Ev::TreeRespliced:
+      emit_head(os, e, ev_name(e.kind), "i", e.t);
+      os << ",\"s\":\"t\",\"args\":{\"epoch\":" << e.a
+         << ",\"alive\":" << e.b << "}}";
       return;
   }
 }

@@ -57,6 +57,14 @@ const char* ev_name(Ev kind) {
       return "tc_process";
     case Ev::PhaseEnd:
       return "tc_process";
+    case Ev::FaultInjected:
+      return "fault_injected";
+    case Ev::StealAborted:
+      return "steal_aborted";
+    case Ev::TaskRecovered:
+      return "task_recovered";
+    case Ev::TreeRespliced:
+      return "tree_respliced";
   }
   return "?";
 }

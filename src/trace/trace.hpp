@@ -68,6 +68,10 @@ enum class Ev : std::uint8_t {
   Search,        // c=accumulated idle/steal/TD-poll time just ended (ns)
   PhaseBegin,    // (tc_process entry)
   PhaseEnd,      // c=phase duration on this rank (ns)
+  FaultInjected,  // a=fault type (fault::FaultType), b=target rank, c=param
+  StealAborted,   // a=victim rank, b=reason (0=truncated-to-zero)
+  TaskRecovered,  // a=source (dead) rank, b=tasks recovered, c=duration (ns)
+  TreeRespliced,  // a=epoch, b=alive rank count after the resplice
 };
 
 /// Human-readable kind name (used by the exporter and analyses).

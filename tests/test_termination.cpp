@@ -8,6 +8,7 @@
 #include <thread>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "scioto/termination.hpp"
 #include "test_util.hpp"
 
@@ -175,6 +176,80 @@ TEST_P(TdBackends, DescendantRuleSkipsMark) {
     rt.barrier();
     td.destroy();
   });
+}
+
+// The §5.3 votes-before edge under failure: the victim votes white, a
+// thief completes a steal against it, and the victim fail-stops before its
+// re-vote (the dirty mark never lands). The stolen work is alive on the
+// busy thief, so termination must NOT fire until the thief finishes --
+// even though every pre-death vote in flight was white. Guarding this is
+// what the per-epoch wave reset + forced black vote after a resplice are
+// for.
+TEST(TdFaultSim, VictimDeathAfterStealNeverFiresEarly) {
+  constexpr int kRanks = 6;
+  // Leaves of disjoint subtrees (3 under 1, 5 under 2): the victim's vote
+  // must not depend on the thief's up-token, or the scripted interleaving
+  // deadlocks before the steal.
+  constexpr Rank kVictim = 3;
+  constexpr Rank kThief = 5;
+  std::atomic<bool> victim_voted{false};
+  std::atomic<bool> stolen{false};
+  std::atomic<bool> work_done{false};
+  std::atomic<bool> early{false};
+  fault::start(kRanks, fault::FaultPlan{}, 7);
+  testing::run_sim(kRanks, [&](Runtime& rt) {
+    TerminationDetector td(rt);
+    td.reset();
+    if (rt.me() == kVictim) {
+      // Step until this rank has cast at least one (white) vote. Global
+      // termination cannot complete yet: the thief has not voted.
+      int steps = 0;
+      while (td.counters().waves_voted == 0) {
+        if (td.step() != TerminationDetector::Status::Working) {
+          early.store(true);
+          break;
+        }
+        rt.relax();
+        ASSERT_LT(++steps, 1000000);
+      }
+      victim_voted.store(true);
+      while (!stolen.load()) {
+        rt.relax();
+      }
+      // Fail-stop before the §5.3 re-vote: just stop participating. No
+      // barrier, no destroy -- survivors must cope.
+      fault::mark_dead(kVictim);
+      return;
+    }
+    if (rt.me() == kThief) {
+      while (!victim_voted.load()) {
+        rt.relax();
+      }
+      // Completed steal against a victim that already voted white this
+      // wave; the thief now owns live work and stays out of detection
+      // while executing it.
+      td.note_lb_op(kVictim);
+      stolen.store(true);
+      for (int i = 0; i < 20; ++i) {
+        rt.charge(us(50));
+        rt.relax();
+      }
+      work_done.store(true);
+    }
+    int steps = 0;
+    while (td.step() == TerminationDetector::Status::Working) {
+      rt.relax();
+      ASSERT_LT(++steps, 2000000);
+    }
+    if (!work_done.load()) {
+      early.store(true);
+    }
+    rt.barrier();
+    td.destroy();
+  });
+  fault::stop();
+  EXPECT_FALSE(early.load())
+      << "termination fired while the stolen work was still in flight";
 }
 
 TEST(TdSim, DetectionCostScalesLogarithmically) {
