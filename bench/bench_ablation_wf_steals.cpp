@@ -19,6 +19,8 @@ int main(int argc, char** argv) {
   Options opts("bench_ablation_wf_steals",
                "locked vs wait-free (CAS) steal path on UTS");
   opts.add_int("scale", 11, "geometric tree depth");
+  opts.add_flag("aborting", true, "adaptive-engine row: trylock-abort steals");
+  opts.add_flag("adaptive", true, "adaptive-engine row: steal-half chunking");
   if (!opts.parse(argc, argv)) return 0;
 
   UtsParams tree = uts_bench();
@@ -35,7 +37,11 @@ int main(int argc, char** argv) {
   sim::MachineModel nic_amo = sim::cluster2008();
   nic_amo.rmw_service = nic_amo.rma_service;
 
-  auto run_one = [&](int p, const sim::MachineModel& m, QueueMode mode) {
+  // The adaptive steal engine is the locked design's answer to the same
+  // convoying problem the wait-free path attacks: thieves abort instead of
+  // blocking, and the owner publishes split moves without the lock.
+  auto run_one = [&](int p, const sim::MachineModel& m, QueueMode mode,
+                     bool adaptive_engine) {
     pgas::Config cfg;
     cfg.nranks = p;
     cfg.backend = pgas::BackendKind::Sim;
@@ -44,24 +50,36 @@ int main(int argc, char** argv) {
     pgas::run_spmd(cfg, [&](pgas::Runtime& rt) {
       UtsRunConfig rc;
       rc.queue_mode = mode;
+      if (adaptive_engine) {
+        rc.aborting_steals = opts.get_flag("aborting");
+        rc.adaptive_steal = opts.get_flag("adaptive");
+        rc.owner_fastpath = true;
+        rc.deferred_steal_copy = true;
+      }
       res = uts_run_scioto(rt, tree, rc);
     });
     SCIOTO_CHECK_MSG(res.counts == expected, "traversal mismatch");
     return res;
   };
 
-  Table t({"Procs", "Locked(Mn/s)", "WF-HostAMO(Mn/s)", "WF-NicAMO(Mn/s)",
-           "WF-NicAMO/Locked"});
+  Table t({"Procs", "Locked(Mn/s)", "Adaptive(Mn/s)", "WF-HostAMO(Mn/s)",
+           "WF-NicAMO(Mn/s)", "WF-NicAMO/Locked", "Busy", "Retargets"});
   for (int p : {8, 16, 32, 64}) {
-    UtsResult locked = run_one(p, host_amo, QueueMode::Split);
-    UtsResult wf_host = run_one(p, host_amo, QueueMode::WaitFreeSteal);
-    UtsResult wf_nic = run_one(p, nic_amo, QueueMode::WaitFreeSteal);
+    UtsResult locked = run_one(p, host_amo, QueueMode::Split, false);
+    UtsResult adaptive = run_one(p, host_amo, QueueMode::Split, true);
+    UtsResult wf_host = run_one(p, host_amo, QueueMode::WaitFreeSteal, false);
+    UtsResult wf_nic = run_one(p, nic_amo, QueueMode::WaitFreeSteal, false);
     t.add_row({Table::fmt(std::int64_t{p}),
                Table::fmt(locked.mnodes_per_sec, 2),
+               Table::fmt(adaptive.mnodes_per_sec, 2),
                Table::fmt(wf_host.mnodes_per_sec, 2),
                Table::fmt(wf_nic.mnodes_per_sec, 2),
                Table::fmt(wf_nic.mnodes_per_sec / locked.mnodes_per_sec,
-                          3)});
+                          3),
+               Table::fmt(static_cast<std::int64_t>(
+                   adaptive.stats.steals_lock_busy)),
+               Table::fmt(static_cast<std::int64_t>(
+                   adaptive.stats.steal_retargets))});
   }
   t.print("Ablation: §8 wait-free steal path vs the locked shared portion "
           "(UTS). Host-assisted atomics make CAS steals a wash; "

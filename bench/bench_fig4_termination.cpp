@@ -124,18 +124,21 @@ int main(int argc, char** argv) {
   opts.add_string("fault-plan", "",
                   "fault plan (spec/JSON/@file) injected into the max-procs "
                   "run; detection must still converge on the survivors");
+  opts.add_string("json", "", "also write results as JSON to this file");
   if (!opts.parse(argc, argv)) return 0;
   const int trials = static_cast<int>(opts.get_int("trials"));
   const int maxp = static_cast<int>(opts.get_int("max-procs"));
 
   Table t({"Procs", "Scioto-Termination(us)", "ARMCI-Barrier(us)",
            "MPI-Barrier(us)", "Term/Barrier", "Wave/Barrier"});
+  std::vector<Fig4Row> rows;
   for (int p = 1; p <= maxp; p *= 2) {
     const std::string trace_file =
         p == maxp ? opts.get_string("trace") : std::string();
     const std::string fault_spec =
         p == maxp ? opts.get_string("fault-plan") : std::string();
     Fig4Row r = measure(p, trials, trace_file, fault_spec);
+    rows.push_back(r);
     double ratio = r.mpi_us > 0 ? r.term_us / r.mpi_us : 0;
     // tc_process includes one mandatory phase-entry barrier; the second
     // ratio isolates the detection wave itself, which is what the paper's
@@ -149,5 +152,25 @@ int main(int argc, char** argv) {
   t.print("Figure 4: termination detection vs ARMCI/MPI barrier on the "
           "cluster (log-log in the paper; expect ~log p growth, "
           "termination wave ~2x barrier)");
+
+  const std::string json = opts.get_string("json");
+  if (!json.empty()) {
+    std::FILE* f = std::fopen(json.c_str(), "w");
+    SCIOTO_CHECK_MSG(f != nullptr, "cannot open " << json);
+    std::fprintf(f,
+                 "{\n  \"bench\": \"fig4_termination\", \"trials\": %d,\n"
+                 "  \"rows\": [\n",
+                 trials);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      std::fprintf(f,
+                   "    {\"procs\": %d, \"term_us\": %.3f, "
+                   "\"armci_us\": %.3f, \"mpi_us\": %.3f}%s\n",
+                   rows[i].procs, rows[i].term_us, rows[i].armci_us,
+                   rows[i].mpi_us, i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("json: wrote %s\n", json.c_str());
+  }
   return 0;
 }

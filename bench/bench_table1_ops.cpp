@@ -114,6 +114,7 @@ int main(int argc, char** argv) {
   Options opts("bench_table1_ops",
                "Table 1: core task collection operation costs");
   opts.add_int("iters", 500, "operations per measurement");
+  opts.add_string("json", "", "also write results as JSON to this file");
   if (!opts.parse(argc, argv)) return 0;
   int iters = static_cast<int>(opts.get_int("iters"));
 
@@ -132,5 +133,26 @@ int main(int argc, char** argv) {
              "29.008", Table::fmt(xt4.remote_steal_us, 3), "32.384"});
   t.print("Table 1: microbenchmark timings for core Scioto operations "
           "(task body 1 kB, chunk 10)");
+
+  const std::string json = opts.get_string("json");
+  if (!json.empty()) {
+    std::FILE* f = std::fopen(json.c_str(), "w");
+    SCIOTO_CHECK_MSG(f != nullptr, "cannot open " << json);
+    auto emit = [&](const char* name, const OpTimes& o, const char* sep) {
+      std::fprintf(f,
+                   "  \"%s\": {\"local_insert_us\": %.4f, "
+                   "\"remote_insert_us\": %.4f, \"local_get_us\": %.4f, "
+                   "\"remote_steal_us\": %.4f}%s\n",
+                   name, o.local_insert_us, o.remote_insert_us,
+                   o.local_get_us, o.remote_steal_us, sep);
+    };
+    std::fprintf(f, "{\n  \"bench\": \"table1_ops\", \"iters\": %d,\n",
+                 iters);
+    emit("cluster", cluster, ",");
+    emit("cray_xt4", xt4, "");
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("json: wrote %s\n", json.c_str());
+  }
   return 0;
 }

@@ -42,6 +42,10 @@ UtsResult uts_run_scioto(pgas::Runtime& rt, const UtsParams& tree,
   tcc.max_tasks_per_rank = cfg.max_tasks;
   tcc.queue_mode = cfg.queue_mode;
   tcc.color_optimization = cfg.color_optimization;
+  tcc.aborting_steals = cfg.aborting_steals;
+  tcc.adaptive_steal = cfg.adaptive_steal;
+  tcc.owner_fastpath = cfg.owner_fastpath;
+  tcc.deferred_steal_copy = cfg.deferred_steal_copy;
   TaskCollection tc(rt, tcc);
 
   UtsCounts local;
@@ -91,6 +95,10 @@ UtsResult uts_run_scioto_ft(pgas::Runtime& rt, const UtsParams& tree,
   tcc.max_tasks_per_rank = cfg.max_tasks;
   tcc.queue_mode = cfg.queue_mode;
   tcc.color_optimization = cfg.color_optimization;
+  tcc.aborting_steals = cfg.aborting_steals;
+  tcc.adaptive_steal = cfg.adaptive_steal;
+  tcc.owner_fastpath = cfg.owner_fastpath;
+  tcc.deferred_steal_copy = cfg.deferred_steal_copy;
   TaskCollection tc(rt, tcc);
 
   // Durable per-rank counts: owner-local stores into our own shared patch

@@ -263,6 +263,13 @@ std::int64_t Runtime::swap(SegId id, Rank target, std::size_t offset,
   return std::atomic_ref<std::int64_t>(*p).exchange(value);
 }
 
+void Runtime::atomic_publish_charge() {
+  // One store + fence + validating load on the owner's own control block:
+  // charged like a local queue get (the cheapest Table-1 op), because no
+  // lock service slot and no network round trip are involved.
+  backend_.charge(machine().local_get);
+}
+
 void Runtime::fence(Rank target) {
   // Within one address space puts complete immediately; the fence costs a
   // round trip (flush + ack) under the model and a memory fence for real.

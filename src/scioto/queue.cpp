@@ -159,6 +159,7 @@ bool SplitQueue::push_local(const std::byte* task, int affinity) {
     return ok;
   }
   rt_.lock(locks_, me);
+  counters().owner_lock_acqs++;
   std::uint64_t sh = c.steal_head.load(std::memory_order_relaxed);
   std::uint64_t pt = c.priv_tail.load(std::memory_order_relaxed);
   if (pt - (sh - 1) >= cfg_.capacity) {
@@ -166,7 +167,7 @@ bool SplitQueue::push_local(const std::byte* task, int affinity) {
     return false;
   }
   std::memcpy(slot(me, sh - 1), task, cfg_.slot_bytes);
-  c.steal_head.store(sh - 1, std::memory_order_release);
+  c.steal_head.store(sh - 1, std::memory_order_seq_cst);
   rt_.unlock(locks_, me);
   rt_.charge(rt_.machine().local_insert);
   SCIOTO_TRACE_EVENT(me, trace::Ev::Push, affinity, 0, pt - (sh - 1));
@@ -244,8 +245,42 @@ std::uint64_t SplitQueue::reacquire() {
       if (shared_size() == 0) {
         return 0;
       }
+      if (cfg_.owner_fastpath) {
+        // Lock-light lowering: publish the new split with one seq_cst
+        // store and validate that no in-flight thief can overrun it.
+        // Thieves serialize on the lock and publish steal_head seq_cst, so
+        // at most ONE thief's advance (bounded by chunk) can be missing
+        // from the validation load -- any earlier thief's store is
+        // ordered before the next lock holder's index reads, hence before
+        // ours. The margin check makes the single unpublished chunk safe.
+        const auto chunk = static_cast<std::uint64_t>(cfg_.chunk);
+        std::uint64_t sh = c.steal_head.load(std::memory_order_seq_cst);
+        std::uint64_t sp = c.split.load(std::memory_order_relaxed);
+        std::uint64_t avail = sp > sh ? sp - sh : 0;
+        if (avail >= 2 * chunk) {
+          std::uint64_t take = avail - avail / 2;  // ceil(avail / 2)
+          std::uint64_t new_sp = sp - take;
+          c.split.store(new_sp, std::memory_order_seq_cst);
+          std::atomic_thread_fence(std::memory_order_seq_cst);
+          std::uint64_t sh2 = c.steal_head.load(std::memory_order_seq_cst);
+          if (sh2 + chunk <= new_sp) {
+            // One local atomic publish instead of a lock round trip.
+            rt_.atomic_publish_charge();
+            counters().reacquires++;
+            counters().reacquires_fast++;
+            SCIOTO_TRACE_EVENT(me, trace::Ev::ReacquireFast, take, 0,
+                               c.priv_tail.load(std::memory_order_relaxed) -
+                                   sh2);
+            return take;
+          }
+          // Thieves drained the margin under us. Raising split back is
+          // always safe (it is exactly a release); take the locked path.
+          c.split.store(sp, std::memory_order_seq_cst);
+        }
+      }
       // Lowering `split` races in-flight steals, so it needs the lock.
       rt_.lock(locks_, me);
+      counters().owner_lock_acqs++;
       std::uint64_t sh = c.steal_head.load(std::memory_order_relaxed);
       std::uint64_t sp = c.split.load(std::memory_order_relaxed);
       std::uint64_t avail = sp - sh;
@@ -301,6 +336,11 @@ void SplitQueue::copy_out_span(Rank victim, std::uint64_t first,
                                std::uint64_t count, std::byte* out) {
   // Contiguous modulo wrap-around: at most two memcpys, one RMA charge.
   rt_.rma_charge(victim, count * cfg_.slot_bytes);
+  copy_span_raw(victim, first, count, out);
+}
+
+void SplitQueue::copy_span_raw(Rank victim, std::uint64_t first,
+                               std::uint64_t count, std::byte* out) {
   std::uint64_t first_mod = first % internal_cap_;
   std::uint64_t until_wrap = internal_cap_ - first_mod;
   std::uint64_t n1 = std::min(count, until_wrap);
@@ -309,6 +349,16 @@ void SplitQueue::copy_out_span(Rank victim, std::uint64_t first,
     std::memcpy(out + n1 * cfg_.slot_bytes, slot(victim, first + n1),
                 (count - n1) * cfg_.slot_bytes);
   }
+}
+
+std::uint64_t SplitQueue::steal_width(std::uint64_t avail) const {
+  const auto chunk = static_cast<std::uint64_t>(cfg_.chunk);
+  if (!cfg_.adaptive_chunk) {
+    return std::min(avail, chunk);
+  }
+  // Steal-half: take ceil(avail / 2), capped at the chunk the caller's
+  // buffers (and the fault-mode transaction log) are sized for.
+  return std::min((avail + 1) / 2, chunk);
 }
 
 void SplitQueue::copy_slot_relaxed(Rank victim, std::uint64_t index,
@@ -329,13 +379,28 @@ int SplitQueue::steal_from_locked(Rank victim, std::byte* out) {
   // round trip (this is what keeps the paper's remote ops near 5 one-way
   // latencies).
   Rank me = rt_.me();
-  rt_.lock(locks_, victim);
+  if (cfg_.aborting_steals) {
+    // Aborting steal: a held lock means another thief (or the owner) is in
+    // the critical section; re-targeting beats convoying on it. trylock
+    // costs one round trip either way; nothing on the victim changed.
+    if (!rt_.trylock(locks_, victim)) {
+      counters().steals_lock_busy++;
+      SCIOTO_TRACE_EVENT(me, trace::Ev::StealBusy, victim, 0, 0);
+      return kStealBusy;
+    }
+  } else {
+    rt_.lock(locks_, victim);
+  }
   Ctl& c = ctl(victim);
-  std::uint64_t sh = c.steal_head.load(std::memory_order_acquire);
-  std::uint64_t bd = steal_boundary(c);
+  // seq_cst (rather than acquire) on the index handshake so the owner's
+  // lock-free fast-path reacquire can validate against in-flight thieves;
+  // same instruction on x86 loads, and no sim charge either way.
+  std::uint64_t sh = c.steal_head.load(std::memory_order_seq_cst);
+  std::uint64_t bd = cfg_.mode == QueueMode::NoSplit
+                         ? c.priv_tail.load(std::memory_order_acquire)
+                         : c.split.load(std::memory_order_seq_cst);
   std::uint64_t avail = bd > sh ? bd - sh : 0;
-  std::uint64_t n = std::min<std::uint64_t>(
-      avail, static_cast<std::uint64_t>(cfg_.chunk));
+  std::uint64_t n = steal_width(avail);
   if (ft_ && n > 0 && victim != me) {
     // Injected message truncation: the steal response carries fewer tasks
     // than requested, possibly none at all.
@@ -352,7 +417,16 @@ int SplitQueue::steal_from_locked(Rank victim, std::byte* out) {
     rt_.unlock(locks_, victim);
     return 0;
   }
-  copy_out_span(victim, sh, n, out);
+  // The ring->buffer copy itself must happen under the lock: the moment
+  // steal_head moves, a remote add may reuse the slot just below it. What
+  // deferred_steal_copy moves past the unlock is the chunk's *wire time*
+  // (the RMA charge) -- the model of a one-sided get whose bulk payload
+  // streams while the victim's lock is already free.
+  if (cfg_.deferred_steal_copy) {
+    copy_span_raw(victim, sh, n, out);
+  } else {
+    copy_out_span(victim, sh, n, out);
+  }
   if (ft_ && victim != me) {
     // Log the in-flight chunk victim-side before releasing the lock: if we
     // die before requeue+commit, the victim (or its ward) replays it from
@@ -372,8 +446,11 @@ int SplitQueue::steal_from_locked(Rank victim, std::byte* out) {
     t.state.store(1, std::memory_order_release);
     rt_.backend().rma_charge_oneway(victim, sizeof(TxnRecord));
   }
-  c.steal_head.store(sh + n, std::memory_order_release);
+  c.steal_head.store(sh + n, std::memory_order_seq_cst);
   rt_.unlock(locks_, victim);
+  if (cfg_.deferred_steal_copy) {
+    rt_.rma_charge(victim, n * cfg_.slot_bytes);
+  }
   return static_cast<int>(n);
 }
 
@@ -587,7 +664,9 @@ int SplitQueue::steal_from(Rank victim, std::byte* out) {
     counters().steals_in++;
     counters().tasks_stolen_in += static_cast<std::uint64_t>(n);
     SCIOTO_TRACE_EVENT(rt_.me(), trace::Ev::StealOk, victim, n, 0);
-  } else {
+  } else if (n == 0) {
+    // kStealBusy already traced its own event; it is neither a success
+    // nor an empty-handed probe.
     SCIOTO_TRACE_EVENT(rt_.me(), trace::Ev::StealFail, victim, 0, 0);
   }
   return n;
@@ -645,7 +724,7 @@ bool SplitQueue::add_remote(Rank target, const std::byte* task) {
     }
     rt_.rma_charge(target, cfg_.slot_bytes);
     std::memcpy(slot(target, sh - 1), task, cfg_.slot_bytes);
-    c.steal_head.store(sh - 1, std::memory_order_release);
+    c.steal_head.store(sh - 1, std::memory_order_seq_cst);
     if (cfg_.mode == QueueMode::NoSplit) {
       // Single-region variant keeps the invariant steal_head <= split.
       std::uint64_t sp = c.split.load(std::memory_order_relaxed);
@@ -661,6 +740,37 @@ bool SplitQueue::add_remote(Rank target, const std::byte* task) {
     SCIOTO_TRACE_EVENT(rt_.me(), trace::Ev::RemoteAdd, target, 0, 0);
   }
   return ok;
+}
+
+SplitQueue::Snapshot SplitQueue::debug_snapshot(Rank r) {
+  Ctl& c = ctl(r);
+  Snapshot s;
+  s.steal_head = c.steal_head.load(std::memory_order_seq_cst);
+  s.split = c.split.load(std::memory_order_seq_cst);
+  s.priv_tail = c.priv_tail.load(std::memory_order_seq_cst);
+  return s;
+}
+
+std::uint64_t SplitQueue::debug_patch_hash(Rank r) {
+  Snapshot s = debug_snapshot(r);
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a offset basis
+  auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  };
+  mix(s.steal_head);
+  mix(s.split);
+  mix(s.priv_tail);
+  const std::byte* ring = rt_.seg_ptr(seg_, r) + slots_off_;
+  const std::size_t bytes =
+      static_cast<std::size_t>(internal_cap_) * cfg_.slot_bytes;
+  for (std::size_t i = 0; i < bytes; ++i) {
+    h ^= static_cast<std::uint64_t>(ring[i]);
+    h *= 1099511628211ull;
+  }
+  return h;
 }
 
 void SplitQueue::reset_collective() {

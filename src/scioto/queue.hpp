@@ -88,7 +88,32 @@ class SplitQueue {
     /// Owner releases work when private > release_threshold tasks and the
     /// shared portion has fewer than `chunk` tasks.
     std::uint64_t release_threshold = 2 * 10;
+    /// Aborting steals: thieves trylock the victim and return kStealBusy
+    /// instead of convoying on a held lock (caller re-targets). Split and
+    /// NoSplit modes only; wait-free steals never block to begin with.
+    bool aborting_steals = false;
+    /// Steal-half adaptive chunking: a steal takes
+    /// min(ceil(shared_depth / 2), chunk) tasks instead of the fixed
+    /// `chunk`, so a deep victim sheds half its exposed work in one get
+    /// while a nearly-dry one is not stripped bare.
+    bool adaptive_chunk = false;
+    /// Lock-light owner fast path: when the shared portion is deep enough
+    /// that no in-flight thief can overrun it, reacquire() lowers `split`
+    /// with a single validated seq_cst publish instead of taking the lock
+    /// (falling back to the locked path when the margin is thin).
+    bool owner_fastpath = false;
+    /// Shrinks the steal critical section: the chunk's wire time (its RMA
+    /// charge) is paid after the victim's lock is released, modelling a
+    /// get whose bulk data streams while the lock is already free. The
+    /// ring->buffer copy itself stays under the lock (remote adds reuse
+    /// slots just below steal_head immediately after it moves).
+    bool deferred_steal_copy = false;
   };
+
+  /// steal_from() result when aborting_steals is set and the victim's lock
+  /// was held: nothing was transferred and the victim's queue state is
+  /// untouched; the caller should back off and pick another victim.
+  static constexpr int kStealBusy = -1;
 
   struct Counters {
     std::uint64_t pushes = 0;
@@ -103,6 +128,9 @@ class SplitQueue {
     std::uint64_t steals_aborted = 0;   // fault-truncated to zero tasks
     std::uint64_t tasks_recovered = 0;  // replayed txns + adopted queues
     std::uint64_t commit_retries = 0;   // dropped commit writes retried
+    std::uint64_t steals_lock_busy = 0;  // aborting steals: victim lock held
+    std::uint64_t owner_lock_acqs = 0;   // owner took its own queue's lock
+    std::uint64_t reacquires_fast = 0;   // lock-free fast-path reacquires
   };
 
   /// Collective: allocates the queue segment and its lock set.
@@ -136,7 +164,8 @@ class SplitQueue {
   /// Unlocked peek at a victim's stealable-task count (one 16-byte get).
   std::uint64_t peek_shared(Rank victim);
   /// Steals up to cfg.chunk tasks from the victim's shared portion into
-  /// `out` (which must hold chunk * slot_bytes). Returns tasks stolen.
+  /// `out` (which must hold chunk * slot_bytes). Returns tasks stolen, or
+  /// kStealBusy when aborting_steals is set and the victim's lock was held.
   int steal_from(Rank victim, std::byte* out);
   /// Adds one descriptor to `target`'s shared end.
   /// Returns false if the target queue is full.
@@ -168,6 +197,23 @@ class SplitQueue {
   Counters& counters() { return counters_[static_cast<std::size_t>(rt_.me())]; }
   pgas::Runtime& runtime() { return rt_; }
 
+  // ---- Test/debug inspection (no charges; not part of the model) ----
+  /// Atomic snapshot of one rank's queue indices.
+  struct Snapshot {
+    std::uint64_t steal_head = 0;
+    std::uint64_t split = 0;
+    std::uint64_t priv_tail = 0;
+    bool operator==(const Snapshot&) const = default;
+  };
+  Snapshot debug_snapshot(Rank r);
+  /// FNV-1a hash of `r`'s control indices plus every ring slot byte. The
+  /// contention stress test uses it to assert that an aborted (kStealBusy)
+  /// steal left the victim's patch byte-identical.
+  std::uint64_t debug_patch_hash(Rank r);
+  /// Acquire/release this rank's own queue lock (contention tests only).
+  void debug_lock_own() { rt_.lock(locks_, rt_.me()); }
+  void debug_unlock_own() { rt_.unlock(locks_, rt_.me()); }
+
  private:
   // All indices start at kIndexBase so the steal end can grow downward
   // (remote adds decrement steal_head) without underflow.
@@ -198,6 +244,13 @@ class SplitQueue {
   std::uint64_t steal_boundary(const Ctl& c) const;
   void copy_out_span(Rank victim, std::uint64_t first, std::uint64_t count,
                      std::byte* out);
+  /// The raw two-segment ring copy of copy_out_span without its RMA
+  /// charge (deferred_steal_copy pays the wire time after unlock).
+  void copy_span_raw(Rank victim, std::uint64_t first, std::uint64_t count,
+                     std::byte* out);
+  /// Steal width: fixed cfg.chunk, or ceil(avail/2) capped at cfg.chunk
+  /// when adaptive_chunk is set.
+  std::uint64_t steal_width(std::uint64_t avail) const;
   /// Word-wise relaxed-atomic copy of one slot: safe to race with a
   /// concurrent overwrite because the caller discards the data when its
   /// publishing CAS fails.

@@ -62,6 +62,11 @@ typedef struct scioto_stats {
   uint64_t steals_aborted;
   uint64_t op_retries;
   uint64_t td_resplices;
+  /* Adaptive steal engine; all zero unless the knobs were enabled. */
+  uint64_t steals_lock_busy;
+  uint64_t steal_retargets;
+  uint64_t owner_lock_acqs;
+  uint64_t reacquires_fast;
 } scioto_stats_t;
 
 /// Collective. Creates a task collection sized for descriptors with up to

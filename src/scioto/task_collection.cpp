@@ -26,6 +26,10 @@ TcStats& TcStats::operator+=(const TcStats& o) {
   steals_aborted += o.steals_aborted;
   op_retries += o.op_retries;
   td_resplices += o.td_resplices;
+  steals_lock_busy += o.steals_lock_busy;
+  steal_retargets += o.steal_retargets;
+  owner_lock_acqs += o.owner_lock_acqs;
+  reacquires_fast += o.reacquires_fast;
   time_total += o.time_total;
   time_working += o.time_working;
   time_searching += o.time_searching;
@@ -63,6 +67,21 @@ Table tc_stats_table(const TcStats& s) {
     add_u64("op_retries", s.op_retries);
     add_u64("td_resplices", s.td_resplices);
   }
+  // Adaptive steal engine rows appear only when one of the knobs was on,
+  // so default-config tables are unchanged.
+  if (s.steals_lock_busy != 0 || s.steal_retargets != 0 ||
+      s.reacquires_fast != 0) {
+    add_u64("steals_lock_busy", s.steals_lock_busy);
+    add_u64("steal_retargets", s.steal_retargets);
+    add_u64("owner_lock_acqs", s.owner_lock_acqs);
+    add_u64("reacquires_fast", s.reacquires_fast);
+    t.add_row({"mean_steal_chunk",
+               Table::fmt(s.steals > 0
+                              ? static_cast<double>(s.tasks_stolen) /
+                                    static_cast<double>(s.steals)
+                              : 0.0,
+                          2)});
+  }
   add_ms("time_total_ms", s.time_total);
   add_ms("time_working_ms", s.time_working);
   add_ms("time_searching_ms", s.time_searching);
@@ -91,6 +110,10 @@ TaskCollection::TaskCollection(pgas::Runtime& rt, TcConfig cfg)
       cfg_.release_threshold != 0
           ? cfg_.release_threshold
           : 2 * static_cast<std::uint64_t>(cfg_.chunk_size);
+  qc.aborting_steals = cfg_.aborting_steals;
+  qc.adaptive_chunk = cfg_.adaptive_steal;
+  qc.owner_fastpath = cfg_.owner_fastpath;
+  qc.deferred_steal_copy = cfg_.deferred_steal_copy;
   queue_ = std::make_unique<SplitQueue>(rt_, qc);
 
   TerminationDetector::Config tdc;
@@ -317,7 +340,11 @@ void TaskCollection::process() {
     if (cfg_.load_balancing && n > 1 && polls_until_steal <= 0) {
       attempted = true;
       const int cores = rt_.machine().cores_per_node;
-      for (int attempt = 0; attempt < cfg_.steals_per_td_poll; ++attempt) {
+      // Victim selection, shared by the first aim of each attempt and by
+      // busy-abort re-targeting. `avoid` deterministically shifts a repeat
+      // pick to the next candidate (no extra RNG draws, so default-config
+      // runs consume the stream exactly as before).
+      auto pick_victim = [&](Rank avoid) -> Rank {
         // §8 multicore enhancement: optionally prefer a victim sharing our
         // node, whose queue we can raid through shared memory.
         Rank victim = kNoRank;
@@ -342,22 +369,67 @@ void TaskCollection::process() {
             // ward's job (drain_dead), not the victim-selection RNG's.
             const std::vector<Rank>& pool = alive_others_[self];
             if (pool.empty()) {
-              break;  // sole survivor: nothing left to steal from
+              return kNoRank;  // sole survivor: nothing left to steal from
             }
-            victim = pool[static_cast<std::size_t>(
-                rng.next_below(static_cast<std::uint64_t>(pool.size())))];
+            std::size_t idx = static_cast<std::size_t>(
+                rng.next_below(static_cast<std::uint64_t>(pool.size())));
+            if (pool[idx] == avoid && pool.size() > 1) {
+              idx = (idx + 1) % pool.size();
+            }
+            victim = pool[idx];
           } else {
             victim = static_cast<Rank>(
                 rng.next_below(static_cast<std::uint64_t>(n - 1)));
             if (victim >= rt_.me()) {
               ++victim;
             }
+            if (victim == avoid && n > 2) {
+              do {
+                victim = (victim + 1) % n;
+              } while (victim == rt_.me());
+            }
           }
         }
-        if (queue_->peek_shared(victim) == 0) {
-          continue;
+        return victim;
+      };
+      for (int attempt = 0; attempt < cfg_.steals_per_td_poll; ++attempt) {
+        Rank victim = pick_victim(kNoRank);
+        if (victim == kNoRank) {
+          break;
         }
-        int got = queue_->steal_from(victim, steal_buf);
+        int got = 0;
+        for (int retarget = 0;;) {
+          if (queue_->peek_shared(victim) == 0) {
+            got = 0;
+            break;
+          }
+          got = queue_->steal_from(victim, steal_buf);
+          if (got != SplitQueue::kStealBusy) {
+            break;
+          }
+          // Aborted on a held lock: back off briefly (seeded + capped, so
+          // sim replays stay bit-deterministic) and aim at a different
+          // victim instead of convoying behind the current one.
+          if (retarget >= cfg_.steal_retarget_max) {
+            got = 0;
+            break;
+          }
+          ++retarget;
+          st.steal_retargets++;
+          TimeNs b = std::min<TimeNs>(ns(200) << std::min(retarget - 1, 4),
+                                      ns(3200));
+          b = b / 2 + static_cast<TimeNs>(rng.next_below(
+                          static_cast<std::uint64_t>(b / 2) + 1));
+          rt_.charge(b);
+          Rank next = pick_victim(victim);
+          SCIOTO_TRACE_EVENT(rt_.me(), trace::Ev::StealRetarget, victim,
+                             next == kNoRank ? victim : next, b);
+          if (next == kNoRank) {
+            got = 0;
+            break;
+          }
+          victim = next;
+        }
         if (got > 0) {
           if (cores > 1 && rt_.machine().same_node(rt_.me(), victim)) {
             st.steals_same_node++;
@@ -479,6 +551,9 @@ void TaskCollection::process() {
   st.steals_aborted = qc.steals_aborted;
   st.op_retries = qc.commit_retries + tc.token_retries;
   st.td_resplices = tc.resplices;
+  st.steals_lock_busy = qc.steals_lock_busy;
+  st.owner_lock_acqs = qc.owner_lock_acqs;
+  st.reacquires_fast = qc.reacquires_fast;
 }
 
 void TaskCollection::reset() {
@@ -496,7 +571,7 @@ TcStats TaskCollection::stats_global() {
   rt_.barrier();
   static_assert(std::is_trivially_copyable_v<TcStats>);
   // Reduce via repeated allreduce_sum of a compact array view.
-  std::uint64_t in[20] = {local.tasks_executed,
+  std::uint64_t in[24] = {local.tasks_executed,
                           local.tasks_spawned_local,
                           local.tasks_spawned_remote,
                           local.steals,
@@ -515,13 +590,17 @@ TcStats TaskCollection::stats_global() {
                           local.tasks_recovered,
                           local.steals_aborted,
                           local.op_retries,
-                          local.td_resplices};
+                          local.td_resplices,
+                          local.steals_lock_busy,
+                          local.steal_retargets,
+                          local.owner_lock_acqs,
+                          local.reacquires_fast};
   struct Packed {
-    std::uint64_t v[20];
+    std::uint64_t v[24];
   } packed;
   std::memcpy(packed.v, in, sizeof(in));
   Packed sum = rt_.allreduce(packed, [](Packed a, const Packed& b) {
-    for (int i = 0; i < 20; ++i) a.v[i] += b.v[i];
+    for (int i = 0; i < 24; ++i) a.v[i] += b.v[i];
     return a;
   });
   total.tasks_executed = sum.v[0];
@@ -544,6 +623,10 @@ TcStats TaskCollection::stats_global() {
   total.steals_aborted = sum.v[17];
   total.op_retries = sum.v[18];
   total.td_resplices = sum.v[19];
+  total.steals_lock_busy = sum.v[20];
+  total.steal_retargets = sum.v[21];
+  total.owner_lock_acqs = sum.v[22];
+  total.reacquires_fast = sum.v[23];
   return total;
 }
 

@@ -63,6 +63,11 @@ const char* ev_category(Ev kind) {
     case Ev::TaskRecovered:
     case Ev::TreeRespliced:
       return "fault";
+    case Ev::StealBusy:
+    case Ev::StealRetarget:
+      return "steal";
+    case Ev::ReacquireFast:
+      return "queue";
   }
   return "?";
 }
@@ -176,6 +181,20 @@ void emit_event(std::ostream& os, const Event& e) {
       emit_head(os, e, ev_name(e.kind), "i", e.t);
       os << ",\"s\":\"t\",\"args\":{\"epoch\":" << e.a
          << ",\"alive\":" << e.b << "}}";
+      return;
+    case Ev::StealBusy:
+      emit_head(os, e, ev_name(e.kind), "i", e.t);
+      os << ",\"s\":\"t\",\"args\":{\"victim\":" << e.a << "}}";
+      return;
+    case Ev::StealRetarget:
+      emit_head(os, e, ev_name(e.kind), "i", e.t);
+      os << ",\"s\":\"t\",\"args\":{\"busy_victim\":" << e.a
+         << ",\"new_victim\":" << e.b << ",\"backoff_ns\":" << e.c
+         << "}}";
+      return;
+    case Ev::ReacquireFast:
+      emit_head(os, e, "queue", "C", e.t);
+      os << ",\"args\":{\"tasks\":" << e.c << "}}";
       return;
   }
 }

@@ -65,6 +65,12 @@ const char* ev_name(Ev kind) {
       return "task_recovered";
     case Ev::TreeRespliced:
       return "tree_respliced";
+    case Ev::StealBusy:
+      return "steal_busy";
+    case Ev::StealRetarget:
+      return "steal_retarget";
+    case Ev::ReacquireFast:
+      return "reacquire_fast";
   }
   return "?";
 }

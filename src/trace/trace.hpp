@@ -72,6 +72,9 @@ enum class Ev : std::uint8_t {
   StealAborted,   // a=victim rank, b=reason (0=truncated-to-zero)
   TaskRecovered,  // a=source (dead) rank, b=tasks recovered, c=duration (ns)
   TreeRespliced,  // a=epoch, b=alive rank count after the resplice
+  StealBusy,      // a=victim rank (aborting steal: lock held, no transfer)
+  StealRetarget,  // a=busy victim, b=new victim, c=backoff charged (ns)
+  ReacquireFast,  // a=tasks reacquired via the lock-free owner fast path
 };
 
 /// Human-readable kind name (used by the exporter and analyses).
