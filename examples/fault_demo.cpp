@@ -6,6 +6,7 @@
 //
 //   ./fault_demo --ranks 8 --scale 10
 //   ./fault_demo --plan "kill:rank=2,at=80us;kill:rank=6,at=160us"
+//   ./fault_demo --detector   # deaths detected by heartbeat, not oracle
 //
 // Fail-stop kills need the deterministic sim backend: with the same plan
 // and seed the whole run, trace included, replays bit-for-bit.
@@ -15,6 +16,7 @@
 
 #include "apps/uts/uts_drivers.hpp"
 #include "base/options.hpp"
+#include "detect/membership.hpp"
 #include "fault/fault.hpp"
 #include "trace/analysis.hpp"
 #include "trace/export.hpp"
@@ -31,7 +33,16 @@ int main(int argc, char** argv) {
   opts.add_string("plan", "kill:rank=3,at=5ms;kill:rank=5,at=9ms",
                   "fault plan (compact spec, JSON, or @file)");
   opts.add_string("out", "", "optional Chrome trace JSON output file");
+  opts.add_flag("detector", false,
+                "detect deaths with the heartbeat detector instead of the "
+                "alive-oracle (lease-fenced adoption)");
   if (!opts.parse(argc, argv)) return 0;
+
+  if (opts.get_flag("detector")) {
+    detect::Config dc = detect::config();
+    dc.enabled = true;
+    detect::set_config(dc);
+  }
 
   const int nranks = static_cast<int>(opts.get_int("ranks"));
   fault::FaultPlan plan = fault::FaultPlan::parse(opts.get_string("plan"));
@@ -98,6 +109,26 @@ int main(int argc, char** argv) {
       "tasks moved (rows=thief; 'recovered' = adopted from the dead)");
   trace::breakdown_table(trace::time_breakdown(evs, nranks))
       .print("per-rank time (dead ranks stop accruing at death)");
+
+  if (opts.get_flag("detector")) {
+    detect::Stats ds = detect::stats();
+    std::printf("\ndetector: %llu heartbeats, %llu probes, %llu suspects, "
+                "%llu refutes, %llu confirms, %llu fence aborts, "
+                "%llu rejoins\n",
+                static_cast<unsigned long long>(ds.heartbeats),
+                static_cast<unsigned long long>(ds.probes),
+                static_cast<unsigned long long>(ds.suspects),
+                static_cast<unsigned long long>(ds.refutes),
+                static_cast<unsigned long long>(ds.confirms),
+                static_cast<unsigned long long>(ds.fence_aborts),
+                static_cast<unsigned long long>(ds.rejoins));
+    std::vector<trace::DetectionRecord> dl =
+        trace::detection_latency(evs, nranks);
+    if (!dl.empty()) {
+      trace::detection_table(dl).print(
+          "detection latency (kill -> first ConfirmDead)");
+    }
+  }
 
   const std::string& out = opts.get_string("out");
   if (!out.empty() && trace::write_chrome_trace_file(out)) {

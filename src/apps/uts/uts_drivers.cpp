@@ -140,7 +140,12 @@ UtsResult uts_run_scioto_ft(pgas::Runtime& rt, const UtsParams& tree,
   // over survivors -- is what must match the sequential count.
   for (Rank r = 0; r < rt.nprocs(); ++r) {
     UtsCounts c;
-    rt.get(counts_seg, r, 0, &c, sizeof(c));
+    // Retrying read: a drop rule that outlives the computation must not
+    // silently zero a dead rank's durable counts out of the total.
+    pgas::OpStatus st = rt.get_with_retry(counts_seg, r, 0, &c, sizeof(c));
+    SCIOTO_CHECK_MSG(st != pgas::OpStatus::Dropped,
+                     "durable-count read from rank " << r
+                                                     << " dropped past retry");
     res.counts.nodes += c.nodes;
     res.counts.leaves += c.leaves;
     res.counts.max_depth =

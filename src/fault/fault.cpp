@@ -45,6 +45,15 @@ RetryPolicy g_policy;
 /// matching from time-based to count-based).
 TimeNs now_or_neg() { return sim::current_virtual_time(); }
 
+/// The timestamp recorded for a fault event firing "now". This is the ONE
+/// place the threads backend's -1 sentinel becomes a 0 event time: callers
+/// that stamp deaths (poll_safepoint, mark_dead) share it, so the clamp
+/// cannot silently hide a sim-clock bug in just one of them.
+TimeNs event_time() {
+  TimeNs now = now_or_neg();
+  return now >= 0 ? now : 0;
+}
+
 bool op_matches(const FaultEvent& ev, OpKind op, Rank me, Rank target) {
   if (ev.op != OpKind::Any && ev.op != op) return false;
   if (ev.rank != kNoRank && ev.rank != me) return false;
@@ -173,7 +182,7 @@ void poll_safepoint(Rank me) {
     }
     if (now >= 0 ? now < a.ev.at : polls <= a.ev.after) continue;
     a.fired = 1;
-    TimeNs at = now >= 0 ? now : 0;
+    TimeNs at = event_time();
     mark_dead_locked(me, at);
     throw RankKilled{me, at};
   }
@@ -232,6 +241,7 @@ TimeNs stall_time(Rank holder) {
   std::lock_guard<std::mutex> g(g_session.mu);
   for (Armed& a : g_session.rules) {
     if (a.ev.type != FaultType::Stall) continue;
+    if (a.ev.for_dur > 0) continue;  // whole-rank rule: rank_stall_time()
     if (a.ev.rank != kNoRank && a.ev.rank != holder) continue;
     if (!try_fire(a, now)) continue;
     ++g_session.stats.stalls;
@@ -261,11 +271,30 @@ TimeNs backoff(Rank me, int attempt) {
   return d;
 }
 
-std::uint64_t mark_dead(Rank r) {
-  if (!active() || r < 0 || r >= g_session.nranks) return epoch();
+TimeNs rank_stall_time(Rank me) {
+  if (!active() || me < 0 || me >= g_session.nranks) return 0;
   TimeNs now = now_or_neg();
   std::lock_guard<std::mutex> g(g_session.mu);
-  return mark_dead_locked(r, now >= 0 ? now : 0);
+  int polls = g_session.safepoint_polls[static_cast<std::size_t>(me)];
+  for (Armed& a : g_session.rules) {
+    if (a.ev.type != FaultType::Stall || a.ev.for_dur <= 0) continue;
+    if (a.ev.rank != me || a.fired > 0) continue;
+    if (now >= 0 ? now < a.ev.at : polls <= a.ev.after) continue;
+    a.fired = 1;
+    ++g_session.stats.stalls;
+    SCIOTO_TRACE_EVENT(me, trace::Ev::FaultInjected,
+                       static_cast<int>(FaultType::Stall), me, a.ev.for_dur);
+    return a.ev.for_dur;
+  }
+  return 0;
+}
+
+std::uint64_t mark_dead(Rank r) {
+  SCIOTO_REQUIRE(active(), "fault::mark_dead outside an armed session");
+  SCIOTO_REQUIRE(r >= 0 && r < g_session.nranks,
+                 "fault::mark_dead rank " << r << " out of range");
+  std::lock_guard<std::mutex> g(g_session.mu);
+  return mark_dead_locked(r, event_time());
 }
 
 Summary summary() {

@@ -107,8 +107,15 @@ OpFate one_sided_fate(OpKind op, Rank me, Rank target);
 int truncate_steal(Rank thief, Rank victim, int want);
 
 /// Extra time a lock holder must burn inside the critical section (0 when
-/// no Stall rule fires).
+/// no Stall rule fires). Skips whole-rank `for=` rules.
 TimeNs stall_time(Rank holder);
+
+/// Whole-rank stall: duration `me` must stall at a safepoint (0 when no
+/// `stall:rank=,for=` rule is due). The suspicion-hazard primitive -- a
+/// stall longer than the detector's confirm timeout makes survivors adopt
+/// the rank's queue while it is still going to resume. Fires once per rule,
+/// at/after `at` (sim) or after `after` safepoint polls (threads).
+TimeNs rank_stall_time(Rank me);
 
 /// Deterministic jittered exponential backoff for `me`'s `attempt`-th retry
 /// (attempt counts from 0): base * 2^attempt, clamped to cap, with a
@@ -116,7 +123,9 @@ TimeNs stall_time(Rank holder);
 TimeNs backoff(Rank me, int attempt);
 
 /// Marks `r` dead without going through a Kill rule (used by tests).
-/// Returns the new epoch.
+/// Returns the new epoch. Throws outside an armed session or for an
+/// out-of-range rank; the event timestamp comes from the same clamped
+/// sim-clock helper poll_safepoint uses.
 std::uint64_t mark_dead(Rank r);
 
 Summary summary();

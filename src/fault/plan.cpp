@@ -84,6 +84,8 @@ void apply_kv(FaultEvent& ev, const std::string& key, const std::string& val) {
     ev.after = parse_int(val);
   } else if (k == "keep") {
     ev.keep = parse_int(val);
+  } else if (k == "for") {
+    ev.for_dur = parse_time(val);
   } else {
     fail("unknown key '" + key + "'");
   }
@@ -96,6 +98,12 @@ void validate(const FaultEvent& ev) {
       if (ev.rank == kNoRank) {
         fail(std::string(fault_type_name(ev.type)) +
              " event needs an explicit rank");
+      }
+      if (ev.type == FaultType::Stall && ev.for_dur > 0 && ev.dur > 0) {
+        fail("stall takes either dur= (lock holder) or for= (whole rank)");
+      }
+      if (ev.type == FaultType::Kill && ev.for_dur > 0) {
+        fail("for= applies only to stall events");
       }
       break;
     case FaultType::Drop:
@@ -292,6 +300,7 @@ std::string FaultPlan::describe() const {
     if (ev.op != OpKind::Any) os << " op=" << op_kind_name(ev.op);
     os << " at=" << ev.at << "ns";
     if (ev.dur > 0) os << " dur=" << ev.dur << "ns";
+    if (ev.for_dur > 0) os << " for=" << ev.for_dur << "ns";
     if (ev.type == FaultType::Truncate) os << " keep=" << ev.keep;
     if (ev.type != FaultType::Kill && ev.type != FaultType::Stall) {
       os << " count=" << ev.count;

@@ -19,7 +19,10 @@ namespace scioto::fault {
 
 enum class FaultType {
   Kill,      // fail-stop: rank dies at its next safepoint at/after `at`
-  Stall,     // lock holder sleeps `dur` inside the critical section
+  Stall,     // lock holder sleeps `dur` inside the critical section, OR,
+             // with `for=` set, the whole rank stalls `for` at a safepoint
+             // (the suspicion-hazard rule: long enough and the detector
+             // falsely confirms the rank dead before it resumes)
   Drop,      // one-sided op reports failure (no effect applied)
   Delay,     // one-sided op charged an extra `dur`
   Dup,       // one-sided op applied twice (idempotence probe)
@@ -48,6 +51,8 @@ struct FaultEvent {
   int count = 1;            // max times an op-level rule fires
   int after = 0;            // threads backend: fire after N matching ops
   int keep = 0;             // Truncate: tasks the thief is allowed to take
+  TimeNs for_dur = 0;       // Stall `for=`: whole-rank stall duration
+                            // (fires at a safepoint, not a lock site)
 };
 
 const char* fault_type_name(FaultType t);

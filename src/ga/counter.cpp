@@ -24,9 +24,11 @@ void SharedCounter::reset(std::int64_t value) {
 }
 
 std::int64_t SharedCounter::peek() {
-  std::int64_t v = 0;
-  rt_.get(seg_, home_, 0, &v, sizeof(v));
-  return v;
+  // Atomic retrying read: race-free against concurrent next() RMWs and
+  // failure-aware when a fault plan drops gets.
+  std::uint64_t v = 0;
+  rt_.get_u64_with_retry(seg_, home_, 0, &v);
+  return static_cast<std::int64_t>(v);
 }
 
 }  // namespace scioto::ga

@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "base/log.hpp"
+#include "detect/membership.hpp"
 #include "pgas/sim_backend.hpp"
 #include "pgas/thread_backend.hpp"
 #include "trace/export.hpp"
@@ -156,7 +157,10 @@ OpStatus checked_one_sided(Backend& backend, fault::OpKind op, Rank me,
     backend.rma_charge(target, n);
     apply();
   }
-  return fault::alive(target) ? OpStatus::Ok : OpStatus::TargetDead;
+  // Liveness through the detector's membership view: with the detector
+  // armed, a dead target reads Ok until some prober confirms the death --
+  // no survivor is omniscient. Disarmed, this falls back to the oracle.
+  return detect::alive(target) ? OpStatus::Ok : OpStatus::TargetDead;
 }
 
 }  // namespace
@@ -222,6 +226,100 @@ OpStatus Runtime::put_with_retry(SegId id, Rank target, std::size_t offset,
     *attempts = std::min(a + 1, p.max_attempts);
   }
   return st;
+}
+
+OpStatus Runtime::probe_pair_checked(SegId id, Rank target,
+                                     std::size_t offset, std::uint64_t* w0,
+                                     std::uint64_t* w1) {
+  SCIOTO_CHECK(offset % alignof(std::uint64_t) == 0);
+  SCIOTO_CHECK(offset + 2 * sizeof(std::uint64_t) <= seg_bytes(id));
+  auto* p = reinterpret_cast<std::uint64_t*>(seg_ptr(id, target) + offset);
+  OpStatus st = checked_one_sided(
+      backend_, fault::OpKind::Get, me(), target, 2 * sizeof(std::uint64_t),
+      [&] {
+        *w0 = std::atomic_ref<std::uint64_t>(p[0]).load(
+            std::memory_order_acquire);
+        *w1 = std::atomic_ref<std::uint64_t>(p[1]).load(
+            std::memory_order_acquire);
+      });
+  if (target != me() && st != OpStatus::Dropped) {
+    SCIOTO_TRACE_EVENT(me(), trace::Ev::PgasGet, target, 0,
+                       2 * sizeof(std::uint64_t));
+  }
+  return st;
+}
+
+OpStatus Runtime::get_u64_with_retry(SegId id, Rank target,
+                                     std::size_t offset, std::uint64_t* out,
+                                     int* attempts) {
+  SCIOTO_CHECK(offset % alignof(std::uint64_t) == 0);
+  SCIOTO_CHECK(offset + sizeof(std::uint64_t) <= seg_bytes(id));
+  auto* p = reinterpret_cast<std::uint64_t*>(seg_ptr(id, target) + offset);
+  fault::RetryPolicy pol = fault::policy();
+  OpStatus st = OpStatus::Dropped;
+  int a = 0;
+  for (; a < pol.max_attempts; ++a) {
+    if (a > 0) {
+      charge(fault::backoff(me(), a - 1));
+      relax();
+    }
+    st = checked_one_sided(backend_, fault::OpKind::Get, me(), target,
+                           sizeof(std::uint64_t), [&] {
+                             *out = std::atomic_ref<std::uint64_t>(*p).load(
+                                 std::memory_order_acquire);
+                           });
+    if (st != OpStatus::Dropped) {
+      if (target != me()) {
+        SCIOTO_TRACE_EVENT(me(), trace::Ev::PgasGet, target, 0,
+                           sizeof(std::uint64_t));
+      }
+      break;
+    }
+  }
+  if (attempts != nullptr) {
+    *attempts = std::min(a + 1, pol.max_attempts);
+  }
+  return st;
+}
+
+OpStatus Runtime::put_word_reliable(SegId id, Rank target, std::size_t offset,
+                                    std::uint64_t value, std::size_t width,
+                                    int* attempts) {
+  SCIOTO_REQUIRE(width == 4 || width == 8,
+                 "put_word_reliable: width " << width << " unsupported");
+  SCIOTO_CHECK(offset % width == 0);
+  SCIOTO_CHECK(offset + width <= seg_bytes(id));
+  int retries = 0;
+  if (fault::active()) {
+    for (;;) {
+      fault::OpFate f =
+          fault::one_sided_fate(fault::OpKind::Token, me(), target);
+      if (f.fate == fault::Fate::Fail) {
+        // A silently lost control word stalls its protocol forever, so
+        // delivery retries past the drop budget (finite by plan).
+        charge(fault::backoff(me(), retries++));
+        relax();
+        continue;
+      }
+      if (f.fate == fault::Fate::Delay && f.delay > 0) {
+        charge(f.delay);
+      }
+      break;
+    }
+  }
+  backend_.rma_charge_oneway(target, width);
+  std::byte* p = seg_ptr(id, target) + offset;
+  if (width == 8) {
+    std::atomic_ref<std::uint64_t>(*reinterpret_cast<std::uint64_t*>(p))
+        .store(value, std::memory_order_release);
+  } else {
+    std::atomic_ref<std::uint32_t>(*reinterpret_cast<std::uint32_t*>(p))
+        .store(static_cast<std::uint32_t>(value), std::memory_order_release);
+  }
+  if (attempts != nullptr) {
+    *attempts = retries;
+  }
+  return detect::alive(target) ? OpStatus::Ok : OpStatus::TargetDead;
 }
 
 void Runtime::acc(SegId id, Rank target, std::size_t offset,
@@ -418,6 +516,32 @@ RunResult run_spmd(const Config& cfg,
     fault::start(cfg.nranks, std::move(plan), cfg.seed);
   }
 
+  // SCIOTO_DETECTOR=1 arms the heartbeat failure detector: liveness is
+  // then learned from probes instead of the fault oracle. Periods/timeouts
+  // come from the staged detect::config() (C API) with env overrides. A
+  // view the caller already armed takes precedence.
+  detect::Config dcfg = detect::config();
+  if (const char* v = std::getenv("SCIOTO_DETECTOR")) {
+    dcfg.enabled = *v != '\0' && *v != '0';
+  }
+  if (const char* v = std::getenv("SCIOTO_HB_PERIOD")) {
+    dcfg.hb_period = fault::parse_time(v);
+  }
+  if (const char* v = std::getenv("SCIOTO_PROBE_PERIOD")) {
+    dcfg.probe_period = fault::parse_time(v);
+  }
+  if (const char* v = std::getenv("SCIOTO_SUSPECT_AFTER")) {
+    dcfg.suspect_after = fault::parse_time(v);
+  }
+  if (const char* v = std::getenv("SCIOTO_CONFIRM_AFTER")) {
+    dcfg.confirm_after = fault::parse_time(v);
+  }
+  const bool own_detect = dcfg.enabled && !detect::active();
+  if (own_detect) {
+    detect::set_config(dcfg);
+    detect::start(cfg.nranks);
+  }
+
   auto wrap = [&](Runtime& rt, Rank r) {
     try {
       body(rt);
@@ -456,6 +580,10 @@ RunResult run_spmd(const Config& cfg,
     trace::stop();
   }
 #endif
+
+  if (own_detect) {
+    detect::stop();
+  }
 
   if (own_fault) {
     fault::Summary s = fault::summary();

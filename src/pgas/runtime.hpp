@@ -130,6 +130,36 @@ class Runtime {
                           const void* src, std::size_t n,
                           int* attempts = nullptr);
 
+  /// Failure-aware atomic probe read of two adjacent u64 slots (the
+  /// heartbeat counter + membership-epoch pair the failure detector
+  /// publishes). Unlike get_checked's memcpy this loads each word with
+  /// acquire semantics, so concurrent owner-side publishes are race-free
+  /// on the threads backend. Same fault consultation as get_checked.
+  OpStatus probe_pair_checked(SegId id, Rank target, std::size_t offset,
+                              std::uint64_t* w0, std::uint64_t* w1);
+
+  /// Failure-aware atomic read of one u64 control word, retried past
+  /// drops like get_with_retry (fault::policy().max_attempts). Unlike the
+  /// memcpy gets this loads through an acquire atomic_ref, so it is
+  /// race-free against atomic writers -- token mailboxes, fetch_add
+  /// counters -- on the threads backend.
+  OpStatus get_u64_with_retry(SegId id, Rank target, std::size_t offset,
+                              std::uint64_t* out, int* attempts = nullptr);
+
+  /// Reliable one-sided control-word put (termination tokens, votes,
+  /// dirty marks). Consults the fault machinery as a Token op and retries
+  /// dropped sends with jittered exponential backoff WITHOUT an attempt
+  /// bound: a silently lost token wedges the protocol, and fault plans
+  /// carry finite drop budgets, so the loop terminates. `width` must be 4
+  /// or 8 and the word width-aligned; the store is an atomic release
+  /// through atomic_ref, race-free against the owner's polling loads.
+  /// Returns TargetDead -- after storing; the mailbox stays addressable --
+  /// when the membership view says the target is gone. `attempts` reports
+  /// the number of retries (dropped sends) performed.
+  OpStatus put_word_reliable(SegId id, Rank target, std::size_t offset,
+                             std::uint64_t value, std::size_t width,
+                             int* attempts = nullptr);
+
   /// Atomic accumulate: patch[offset ..] += alpha * src[0..n). Atomic with
   /// respect to other acc/RMW calls (not plain put).
   void acc(SegId id, Rank target, std::size_t offset, const double* src,

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "detect/membership.hpp"
 #include "scioto/task.hpp"
 #include "trace/trace.hpp"
 
@@ -96,14 +97,18 @@ std::uint64_t SplitQueue::steal_boundary(const Ctl& c) const {
 
 std::uint64_t SplitQueue::private_size() const {
   const Ctl& c = const_cast<SplitQueue*>(this)->ctl(rt_.me());
-  return c.priv_tail.load(std::memory_order_relaxed) -
-         c.split.load(std::memory_order_relaxed);
+  // Clamped: a ward freezing priv_tail mid-adoption can transiently leave
+  // priv_tail below split; the difference must not wrap.
+  std::uint64_t pt = c.priv_tail.load(std::memory_order_relaxed);
+  std::uint64_t sp = c.split.load(std::memory_order_relaxed);
+  return pt > sp ? pt - sp : 0;
 }
 
 std::uint64_t SplitQueue::shared_size() const {
   const Ctl& c = const_cast<SplitQueue*>(this)->ctl(rt_.me());
-  return c.split.load(std::memory_order_relaxed) -
-         c.steal_head.load(std::memory_order_relaxed);
+  std::uint64_t sp = c.split.load(std::memory_order_relaxed);
+  std::uint64_t sh = c.steal_head.load(std::memory_order_relaxed);
+  return sp > sh ? sp - sh : 0;
 }
 
 bool SplitQueue::push_local(const std::byte* task, int affinity) {
@@ -115,6 +120,14 @@ bool SplitQueue::push_local(const std::byte* task, int affinity) {
     // No-split ablation: single fully locked region; everything enters at
     // the private end (affinity ordering needs the split design).
     rt_.lock(locks_, me);
+    if (ft_ && c.fence.load(std::memory_order_acquire) != 0) {
+      // Our queue was adopted while we were falsely suspected: keep the
+      // task in the private stash (it re-enters after rejoin) and let the
+      // work loop observe the fence.
+      rt_.unlock(locks_, me);
+      stash_overflow(task);
+      return true;
+    }
     std::uint64_t pt = c.priv_tail.load(std::memory_order_relaxed);
     std::uint64_t sh = c.steal_head.load(std::memory_order_relaxed);
     if (pt - sh >= cfg_.capacity) {
@@ -138,7 +151,19 @@ bool SplitQueue::push_local(const std::byte* task, int affinity) {
       return false;
     }
     std::memcpy(slot(me, pt), task, cfg_.slot_bytes);
-    c.priv_tail.store(pt + 1, std::memory_order_release);
+    if (ft_) {
+      // The CAS arbitrates against a ward freezing priv_tail mid-adoption
+      // (priv_tail has no other concurrent writer): a failure means our
+      // queue was adopted out from under us. Stash the task -- it is ours
+      // alone, the ward never saw it -- and re-enter it after rejoin.
+      if (!c.priv_tail.compare_exchange_strong(pt, pt + 1,
+                                               std::memory_order_seq_cst)) {
+        stash_overflow(task);
+        return true;
+      }
+    } else {
+      c.priv_tail.store(pt + 1, std::memory_order_release);
+    }
     rt_.charge(rt_.machine().local_insert);
     SCIOTO_TRACE_EVENT(me, trace::Ev::Push, affinity, 0, (pt + 1) - sh);
     return true;
@@ -160,6 +185,11 @@ bool SplitQueue::push_local(const std::byte* task, int affinity) {
   }
   rt_.lock(locks_, me);
   counters().owner_lock_acqs++;
+  if (ft_ && c.fence.load(std::memory_order_acquire) != 0) {
+    rt_.unlock(locks_, me);
+    stash_overflow(task);
+    return true;
+  }
   std::uint64_t sh = c.steal_head.load(std::memory_order_relaxed);
   std::uint64_t pt = c.priv_tail.load(std::memory_order_relaxed);
   if (pt - (sh - 1) >= cfg_.capacity) {
@@ -180,6 +210,10 @@ bool SplitQueue::pop_local(std::byte* out) {
 
   if (cfg_.mode == QueueMode::NoSplit) {
     rt_.lock(locks_, me);
+    if (ft_ && c.fence.load(std::memory_order_acquire) != 0) {
+      rt_.unlock(locks_, me);
+      return false;  // adopted: the work loop handles the fence abort
+    }
     std::uint64_t pt = c.priv_tail.load(std::memory_order_relaxed);
     std::uint64_t sh = c.steal_head.load(std::memory_order_relaxed);
     if (pt == sh) {
@@ -198,11 +232,23 @@ bool SplitQueue::pop_local(std::byte* out) {
 
   std::uint64_t pt = c.priv_tail.load(std::memory_order_relaxed);
   std::uint64_t sp = c.split.load(std::memory_order_relaxed);
-  if (pt == sp) {
+  if (pt <= sp) {
     return false;  // private portion empty; caller should reacquire()
   }
   std::memcpy(out, slot(me, pt - 1), cfg_.slot_bytes);
-  c.priv_tail.store(pt - 1, std::memory_order_release);
+  if (ft_) {
+    // Arbitrates against a ward's priv_tail freeze: a lost CAS means the
+    // task (and the rest of our queue) now belongs to the adopter --
+    // discard the copy, report empty, and let the work loop observe the
+    // fence. This is what makes "drains nothing twice" hold even when the
+    // suspicion was wrong.
+    if (!c.priv_tail.compare_exchange_strong(pt, pt - 1,
+                                             std::memory_order_seq_cst)) {
+      return false;
+    }
+  } else {
+    c.priv_tail.store(pt - 1, std::memory_order_release);
+  }
   rt_.charge(rt_.machine().local_get);
   counters().pops++;
   SCIOTO_TRACE_EVENT(me, trace::Ev::Pop, 0, 0,
@@ -245,7 +291,10 @@ std::uint64_t SplitQueue::reacquire() {
       if (shared_size() == 0) {
         return 0;
       }
-      if (cfg_.owner_fastpath) {
+      if (cfg_.owner_fastpath && !ft_) {
+        // Fault mode forces the locked path (as it forces locked steals):
+        // the lock-light split publish cannot observe an adoption fence,
+        // so a falsely-suspected owner could resurrect adopted work.
         // Lock-light lowering: publish the new split with one seq_cst
         // store and validate that no in-flight thief can overrun it.
         // Thieves serialize on the lock and publish steal_head seq_cst, so
@@ -281,6 +330,10 @@ std::uint64_t SplitQueue::reacquire() {
       // Lowering `split` races in-flight steals, so it needs the lock.
       rt_.lock(locks_, me);
       counters().owner_lock_acqs++;
+      if (ft_ && c.fence.load(std::memory_order_acquire) != 0) {
+        rt_.unlock(locks_, me);
+        return 0;  // adopted: the work loop handles the fence abort
+      }
       std::uint64_t sh = c.steal_head.load(std::memory_order_relaxed);
       std::uint64_t sp = c.split.load(std::memory_order_relaxed);
       std::uint64_t avail = sp - sh;
@@ -310,11 +363,36 @@ std::uint64_t SplitQueue::release_maybe() {
       shared_size() >= static_cast<std::uint64_t>(cfg_.chunk)) {
     return 0;
   }
-  // Raising `split` only grows the shared portion; thieves reading the old
-  // value just see fewer tasks, so no lock is needed (paper §5).
-  std::uint64_t give = priv / 2;
-  std::uint64_t sp = c.split.load(std::memory_order_relaxed);
-  c.split.store(sp + give, std::memory_order_release);
+  std::uint64_t give;
+  std::uint64_t sp;
+  if (ft_) {
+    // Fault mode: an unlocked split raise could interleave with a ward
+    // mid-adoption and fabricate a phantom private portion, so the release
+    // serializes on our own lock and honours the fence like every other
+    // locked owner op.
+    rt_.lock(locks_, rt_.me());
+    counters().owner_lock_acqs++;
+    if (c.fence.load(std::memory_order_acquire) != 0) {
+      rt_.unlock(locks_, rt_.me());
+      return 0;
+    }
+    std::uint64_t pt = c.priv_tail.load(std::memory_order_relaxed);
+    sp = c.split.load(std::memory_order_relaxed);
+    priv = pt > sp ? pt - sp : 0;
+    give = priv / 2;
+    if (give == 0) {
+      rt_.unlock(locks_, rt_.me());
+      return 0;
+    }
+    c.split.store(sp + give, std::memory_order_release);
+    rt_.unlock(locks_, rt_.me());
+  } else {
+    // Raising `split` only grows the shared portion; thieves reading the
+    // old value just see fewer tasks, so no lock is needed (paper §5).
+    give = priv / 2;
+    sp = c.split.load(std::memory_order_relaxed);
+    c.split.store(sp + give, std::memory_order_release);
+  }
   counters().releases++;
   SCIOTO_TRACE_EVENT(rt_.me(), trace::Ev::Release, give, 0,
                      c.priv_tail.load(std::memory_order_relaxed) -
@@ -493,8 +571,16 @@ std::uint64_t SplitQueue::recover_open_txns() {
   std::uint64_t total = 0;
   for (Rank t = 0; t < rt_.nprocs(); ++t) {
     TxnRecord& rec = txn(me, t);
-    if (rec.state.load(std::memory_order_acquire) != 1 || fault::alive(t)) {
-      continue;  // no txn, or the thief is alive and will commit itself
+    if (detect::alive(t)) {
+      continue;  // a live thief still commits (or reclaims) itself
+    }
+    // Claim 1 -> 2 before copying: a falsely-suspected thief reclaiming
+    // concurrently (1 -> 0) and a ward draining us both arbitrate on the
+    // same word, so exactly one party replays the chunk.
+    std::uint64_t expect = 1;
+    if (!rec.state.compare_exchange_strong(expect, 2,
+                                           std::memory_order_acq_rel)) {
+      continue;
     }
     TimeNs t0 = rt_.now();
     std::uint64_t n = rec.count.load(std::memory_order_relaxed);
@@ -505,8 +591,6 @@ std::uint64_t SplitQueue::recover_open_txns() {
         stash_overflow(task);
       }
     }
-    // The dead thief was the only other writer of this record, so a plain
-    // close makes the replay exactly-once even against a later drain.
     rec.state.store(0, std::memory_order_release);
     counters().tasks_recovered += n;
     total += n;
@@ -517,7 +601,7 @@ std::uint64_t SplitQueue::recover_open_txns() {
 }
 
 std::uint64_t SplitQueue::drain_dead(Rank dead) {
-  if (!ft_ || dead == rt_.me() || fault::alive(dead)) {
+  if (!ft_ || dead == rt_.me() || detect::alive(dead)) {
     return 0;
   }
   Rank me = rt_.me();
@@ -530,28 +614,64 @@ std::uint64_t SplitQueue::drain_dead(Rank dead) {
   bool txn_work = false;
   for (Rank t = 0; t < rt_.nprocs() && !txn_work; ++t) {
     txn_work = txn(dead, t).state.load(std::memory_order_acquire) == 1 &&
-               !fault::alive(t);
+               !detect::alive(t);
   }
   if (sh >= pt && !txn_work) {
     return 0;
   }
   TimeNs t0 = rt_.now();
   std::uint64_t adopted = 0;
-  // The lock still serializes us against thieves that have not yet
-  // observed the death and are stealing from the dead rank's shared
-  // portion.
+  // The lock serializes us against thieves that have not yet observed the
+  // death, against rival wards, and -- in detector mode -- against a
+  // falsely-suspected owner's locked operations.
   rt_.lock(locks_, dead);
+  if (detect::alive(dead)) {
+    // The "dead" rank rejoined while we waited on the lock; its queue is
+    // its own again.
+    rt_.unlock(locks_, dead);
+    return 0;
+  }
+  // Lease fence: CAS our (epoch, adopter) claim into the victim's control
+  // block. A falsely-suspected owner observes the fence on its next
+  // acquisition and aborts instead of double-draining. If we already hold
+  // this epoch's lease we re-scoop without reinstalling, so remote adds
+  // that landed after the first adoption are not stranded; a rival ward's
+  // same-or-newer-epoch lease means the queue is already spoken for.
+  std::uint64_t ep = detect::epoch();
+  std::uint64_t mine = (ep << 16) | (static_cast<std::uint64_t>(me) + 1);
+  std::uint64_t cur = c.fence.load(std::memory_order_acquire);
+  if (cur != mine) {
+    if (cur != 0 && (cur >> 16) >= ep) {
+      rt_.unlock(locks_, dead);
+      return 0;
+    }
+    if (!c.fence.compare_exchange_strong(cur, mine,
+                                         std::memory_order_acq_rel)) {
+      rt_.unlock(locks_, dead);
+      return 0;
+    }
+    rt_.backend().rma_charge_oneway(dead, sizeof(std::uint64_t));
+  }
+  // Freeze the queue: swinging priv_tail down to steal_head makes every
+  // in-flight lock-free owner CAS (push pt->pt+1, pop pt->pt-1) fail, so
+  // a falsely-suspected owner can neither overwrite a slot we are copying
+  // nor execute a task we are adopting. The RMW total order on priv_tail
+  // also gives us visibility of every slot the owner published before it.
   sh = c.steal_head.load(std::memory_order_acquire);
-  pt = c.priv_tail.load(std::memory_order_acquire);
+  pt = c.priv_tail.exchange(sh, std::memory_order_seq_cst);
+  SCIOTO_CHECK_MSG(pt >= sh, "drain_dead: priv_tail " << pt
+                                 << " below steal_head " << sh);
   // Adopt everything in [steal_head, priv_tail): with the owner gone the
-  // private/shared distinction is moot.
+  // private/shared distinction is moot. steal_head stays put -- the lock
+  // excludes all readers -- and the queue ends low-anchored (sh = sp = pt)
+  // so a rejoining owner restarts from a trivially consistent state.
   std::byte* buf = reacquire_bufs_[static_cast<std::size_t>(me)].data();
-  while (sh < pt) {
+  std::uint64_t idx = sh;
+  while (idx < pt) {
     std::uint64_t n = std::min<std::uint64_t>(
-        pt - sh, static_cast<std::uint64_t>(cfg_.chunk));
-    copy_out_span(dead, sh, n, buf);
-    sh += n;
-    c.steal_head.store(sh, std::memory_order_release);
+        pt - idx, static_cast<std::uint64_t>(cfg_.chunk));
+    copy_out_span(dead, idx, n, buf);
+    idx += n;
     for (std::uint64_t i = 0; i < n; ++i) {
       const std::byte* task = buf + static_cast<std::size_t>(i) * cfg_.slot_bytes;
       if (!push_local(task, kAffinityHigh)) {
@@ -560,13 +680,20 @@ std::uint64_t SplitQueue::drain_dead(Rank dead) {
       ++adopted;
     }
   }
-  c.split.store(pt, std::memory_order_release);
+  c.split.store(sh, std::memory_order_release);
   // Orphaned in-flight steals whose thief also died: nobody else will
   // replay them. Chunks with a live thief are left alone -- that thief
-  // still requeues and commits them itself.
+  // still requeues and commits them itself. The 1->2 claim arbitrates
+  // against a falsely-suspected thief reclaiming (2->0 on our side wins;
+  // its 1->0 reclaim wins) so each chunk is replayed exactly once.
   for (Rank t = 0; t < rt_.nprocs(); ++t) {
     TxnRecord& rec = txn(dead, t);
-    if (rec.state.load(std::memory_order_acquire) != 1 || fault::alive(t)) {
+    if (detect::alive(t)) {
+      continue;
+    }
+    std::uint64_t expect = 1;
+    if (!rec.state.compare_exchange_strong(expect, 2,
+                                           std::memory_order_acq_rel)) {
       continue;
     }
     std::uint64_t n = rec.count.load(std::memory_order_relaxed);
@@ -588,6 +715,41 @@ std::uint64_t SplitQueue::drain_dead(Rank dead) {
                        rt_.now() - t0);
   }
   return adopted;
+}
+
+std::uint64_t SplitQueue::fence_ack() {
+  if (!ft_) {
+    return 0;
+  }
+  Rank me = rt_.me();
+  Ctl& c = ctl(me);
+  if (c.fence.load(std::memory_order_acquire) == 0) {
+    return 0;
+  }
+  // Take our own lock so the clear is ordered against any ward still
+  // inside an adoption; by the time we return the adopter is gone and the
+  // (low-anchored) queue is ours again.
+  rt_.lock(locks_, me);
+  counters().owner_lock_acqs++;
+  std::uint64_t old = c.fence.exchange(0, std::memory_order_acq_rel);
+  rt_.unlock(locks_, me);
+  return old;
+}
+
+bool SplitQueue::reclaim_txn(Rank victim) {
+  Rank me = rt_.me();
+  if (!ft_ || victim == me) {
+    return false;
+  }
+  TxnRecord& rec = txn(victim, me);
+  // 1 -> 0: the chunk is still ours (no ward claimed it while we were
+  // presumed dead). Any other state means a ward won the 1 -> 2 claim (or
+  // already finished replaying it) and our copy must be discarded.
+  std::uint64_t expect = 1;
+  bool won = rec.state.compare_exchange_strong(expect, 0,
+                                               std::memory_order_acq_rel);
+  rt_.backend().rma_charge_oneway(victim, sizeof(std::uint64_t));
+  return won;
 }
 
 void SplitQueue::stash_overflow(const std::byte* task) {
@@ -779,6 +941,7 @@ void SplitQueue::reset_collective() {
   c.steal_head.store(kIndexBase, std::memory_order_relaxed);
   c.split.store(kIndexBase, std::memory_order_relaxed);
   c.priv_tail.store(kIndexBase, std::memory_order_relaxed);
+  c.fence.store(0, std::memory_order_relaxed);
   if (ft_) {
     for (Rank t = 0; t < rt_.nprocs(); ++t) {
       txn(rt_.me(), t).state.store(0, std::memory_order_relaxed);

@@ -183,6 +183,17 @@ class SplitQueue {
   /// private portion) plus transactions whose thief also died. Returns
   /// tasks adopted. Safe to call repeatedly; later calls find nothing.
   std::uint64_t drain_dead(Rank dead);
+  /// Owner side, after a false suspicion: atomically reads and clears the
+  /// fence word under our own lock (serializing with any in-flight ward).
+  /// Returns the old fence word (0 when we were never fenced). The caller
+  /// must detect::rejoin() afterwards -- the drained queue stays drained;
+  /// nothing is executed twice.
+  std::uint64_t fence_ack();
+  /// Thief side, after discovering we were falsely confirmed dead with a
+  /// steal transaction still open on `victim`: tries to take the open txn
+  /// back (CAS state 1 -> 0). True: the chunk is ours again, requeue our
+  /// copy. False: a replayer (victim or ward) owns it, discard our copy.
+  bool reclaim_txn(Rank victim);
   /// True when recovered tasks are parked in the local overflow stash
   /// (they count as live work for termination purposes).
   bool overflow_pending() const;
@@ -223,12 +234,19 @@ class SplitQueue {
     std::atomic<std::uint64_t> steal_head{kIndexBase};
     std::atomic<std::uint64_t> split{kIndexBase};
     std::atomic<std::uint64_t> priv_tail{kIndexBase};
+    /// Adoption lease fence: (membership epoch << 16) | (adopter + 1),
+    /// 0 when unfenced. A ward CAS-installs it under the victim's lock
+    /// before draining; a falsely-suspected owner observes it on its next
+    /// lock/CAS acquisition and aborts its work loop (fence_ack).
+    std::atomic<std::uint64_t> fence{0};
   };
 
   /// Per-thief steal-transaction record in the victim's patch. `state` is
-  /// 1 while a stolen chunk is copied out but not yet requeued+committed
-  /// by the thief. Only that one thief writes the record while it is
-  /// alive, so recovery flips it without extra synchronization.
+  /// 0 closed, 1 open (chunk copied out but not yet requeued+committed by
+  /// the thief), 2 replay-in-progress. Replayers claim an open record with
+  /// CAS 1 -> 2 and close it with a store; a falsely-dead thief reclaims
+  /// with CAS 1 -> 0 (reclaim_txn) -- exactly one side wins, so the chunk
+  /// is requeued exactly once even when detection was wrong.
   struct TxnRecord {
     std::atomic<std::uint64_t> state{0};
     std::atomic<std::uint64_t> count{0};

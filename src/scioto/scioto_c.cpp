@@ -235,4 +235,64 @@ int scioto_fault_plan_set(const char* spec, char* errbuf, int errbuf_len) {
 
 const char* scioto_fault_plan(void) { return staged_fault_plan().c_str(); }
 
+int scioto_detector_enabled(void) {
+  return scioto::detect::config().enabled ? 1 : 0;
+}
+
+void scioto_detector_set(int enabled) {
+  scioto::detect::Config c = scioto::detect::config();
+  c.enabled = enabled != 0;
+  scioto::detect::set_config(c);
+}
+
+int64_t scioto_hb_period_ns(void) {
+  return scioto::detect::config().hb_period;
+}
+
+void scioto_set_hb_period_ns(int64_t period_ns) {
+  SCIOTO_REQUIRE(period_ns > 0,
+                 "scioto_set_hb_period_ns: period must be > 0");
+  scioto::detect::Config c = scioto::detect::config();
+  c.hb_period = period_ns;
+  if (c.suspect_after <= c.hb_period) {
+    // Keep the staged config self-consistent: suspicion needs to tolerate
+    // at least a couple of missed heartbeats.
+    c.suspect_after = 8 * c.hb_period;
+  }
+  if (c.confirm_after <= c.suspect_after) {
+    c.confirm_after = 4 * c.suspect_after;
+  }
+  scioto::detect::set_config(c);
+}
+
+int64_t scioto_suspect_timeout_ns(void) {
+  return scioto::detect::config().suspect_after;
+}
+
+void scioto_set_suspect_timeout_ns(int64_t timeout_ns) {
+  scioto::detect::Config c = scioto::detect::config();
+  SCIOTO_REQUIRE(timeout_ns > c.hb_period,
+                 "scioto_set_suspect_timeout_ns: timeout "
+                     << timeout_ns << " must exceed the heartbeat period "
+                     << c.hb_period);
+  c.suspect_after = timeout_ns;
+  if (c.confirm_after <= c.suspect_after) {
+    c.confirm_after = 4 * c.suspect_after;
+  }
+  scioto::detect::set_config(c);
+}
+
+void scioto_detector_stats_get(scioto_detector_stats_t* out) {
+  SCIOTO_REQUIRE(out != nullptr, "scioto_detector_stats_get: NULL out");
+  scioto::detect::Stats s = scioto::detect::stats();
+  out->heartbeats = s.heartbeats;
+  out->probes = s.probes;
+  out->suspects = s.suspects;
+  out->refutes = s.refutes;
+  out->confirms = s.confirms;
+  out->fence_aborts = s.fence_aborts;
+  out->rejoins = s.rejoins;
+  out->max_detect_latency_ns = s.max_detect_latency;
+}
+
 }  // extern "C"

@@ -129,6 +129,44 @@ int scioto_fault_plan_set(const char* spec, char* errbuf, int errbuf_len);
 /// by the library; valid until the next scioto_fault_plan_set call.
 const char* scioto_fault_plan(void);
 
+/* ---- Failure detector ----------------------------------------------------
+ * The heartbeat failure detector replaces the omniscient alive-oracle:
+ * each rank publishes a heartbeat counter in its PGAS segment and probes
+ * a small neighbor set; silent peers move alive -> suspect -> confirmed
+ * dead, and queue adoption is lease-fenced so falsely-suspected ranks
+ * rejoin without double-executing work. Knobs are process-global and
+ * staged: setters apply to the next SPMD run (mirrors scioto::detect::
+ * Config), matching the SCIOTO_DETECTOR / SCIOTO_HB_PERIOD /
+ * SCIOTO_SUSPECT_AFTER environment knobs. Times are nanoseconds (virtual
+ * under the sim backend, wall-clock under threads). */
+
+/// Nonzero when the detector is staged to arm on the next SPMD run.
+int scioto_detector_enabled(void);
+void scioto_detector_set(int enabled);
+
+/// Own-heartbeat publish period.
+int64_t scioto_hb_period_ns(void);
+void scioto_set_hb_period_ns(int64_t period_ns);
+
+/// Silence before a probed peer becomes suspect.
+int64_t scioto_suspect_timeout_ns(void);
+void scioto_set_suspect_timeout_ns(int64_t timeout_ns);
+
+/// Detector counters, summed over ranks for the current (or last) armed
+/// detector session. All zero when the detector never ran.
+typedef struct scioto_detector_stats {
+  uint64_t heartbeats;      /* own-counter publishes */
+  uint64_t probes;          /* one-sided heartbeat reads issued */
+  uint64_t suspects;        /* alive -> suspect transitions observed */
+  uint64_t refutes;         /* suspect -> alive (heartbeat advanced) */
+  uint64_t confirms;        /* suspect -> confirmed-dead transitions */
+  uint64_t fence_aborts;    /* owners that observed an adoption fence */
+  uint64_t rejoins;         /* falsely-suspected ranks re-admitted */
+  uint64_t max_detect_latency_ns; /* worst silence at a confirmation */
+} scioto_detector_stats_t;
+
+void scioto_detector_stats_get(scioto_detector_stats_t* out);
+
 }  // extern "C"
 
 namespace scioto::capi {

@@ -1,7 +1,9 @@
 #include "scioto/task_collection.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 #include "base/log.hpp"
 #include "trace/trace.hpp"
@@ -120,6 +122,11 @@ TaskCollection::TaskCollection(pgas::Runtime& rt, TcConfig cfg)
   tdc.color_optimization = cfg_.color_optimization;
   td_ = std::make_unique<TerminationDetector>(rt_, tdc);
 
+  if (detect::active()) {
+    // Collective: every rank allocates its heartbeat patch together.
+    hb_ = std::make_unique<detect::HeartbeatProbe>(rt_);
+  }
+
   // TaskCollection objects are constructed per rank (ARMCI style); the
   // per-rank tables below are indexed by me() so the indexing discipline
   // stays uniform, but only this rank's slots get real buffers -- at 512
@@ -150,6 +157,9 @@ void TaskCollection::destroy() {
   SCIOTO_REQUIRE(live_, "destroy of dead task collection");
   queue_->destroy();
   td_->destroy();
+  if (hb_) {
+    hb_->destroy();
+  }
   live_ = false;
 }
 
@@ -197,7 +207,7 @@ void TaskCollection::add_raw(Rank where, int affinity,
       my_stats().tasks_spawned_local++;
       queue_->release_maybe();
     }
-  } else if (fault::active() && !fault::alive(where)) {
+  } else if ((fault::active() || detect::active()) && !detect::alive(where)) {
     // Redirect: a task aimed at a dead rank lands locally instead of in
     // dead memory its ward would only have to drain back out.
     ok = queue_->push_local(scratch.data(), affinity);
@@ -243,6 +253,30 @@ void TaskCollection::execute(std::byte* descriptor) {
   my_stats().tasks_executed++;
 }
 
+void TaskCollection::fence_abort_and_rejoin() {
+  // Acknowledging the fence takes our own queue lock, so this blocks
+  // until any in-flight adoption finishes; the fence word then reads the
+  // (epoch, adopter) lease that evicted us. Nothing is drained twice: our
+  // lock-free push/pop CASes failed from the moment the adopter froze
+  // priv_tail (bounced pushes sit in the overflow stash, rank-local
+  // memory the adopter never scoops), and the adopter's under-lock
+  // alive() re-check blocks any adoption attempted after this rejoin.
+  std::uint64_t fence = queue_->fence_ack();
+  Rank adopter =
+      fence != 0 ? static_cast<Rank>((fence & 0xffff) - 1) : kNoRank;
+  detect::note_fence_abort();
+  SCIOTO_TRACE_EVENT(rt_.me(), trace::Ev::FenceAbort,
+                     adopter == kNoRank ? -1 : adopter,
+                     static_cast<long long>(fence >> 16), 0);
+  detect::rejoin(rt_.me());
+  if (hb_) {
+    hb_->reset_observations();
+  }
+  // Re-entering with (possibly) stashed work: the next vote must be black
+  // so no in-flight wave concludes all-white over it.
+  td_->mark_self_black();
+}
+
 void TaskCollection::process() {
   // One barrier separates everyone's local detector rearm from the first
   // token traffic; the exit is collective by construction (the root's
@@ -277,6 +311,32 @@ void TaskCollection::process() {
     // post-steal safepoint below -- never while holding a lock.
     if (ft) {
       fault::poll_safepoint(rt_.me());
+      // Whole-rank stall rules (stall:rank=,for=): the rank goes dark for
+      // the whole duration -- no heartbeats, no queue ops -- which is how
+      // the false-suspicion tests push a live rank past the detector's
+      // confirm timeout.
+      TimeNs stall = fault::rank_stall_time(rt_.me());
+      if (stall > 0) {
+        TimeNs t0 = rt_.now();
+        rt_.charge(stall);  // sim backend: virtual time advances
+        TimeNs advanced = rt_.now() - t0;
+        if (advanced < stall) {
+          // Threads backend: charge is a no-op, so stall in wall-clock.
+          std::this_thread::sleep_for(
+              std::chrono::nanoseconds(stall - advanced));
+        }
+      }
+    }
+    if (hb_) {
+      hb_->poll();
+      if (!detect::alive(rt_.me())) {
+        // We were falsely confirmed dead: a ward owns (or is about to
+        // adopt) our queue under a lease fence. Acknowledge the fence,
+        // rejoin in a fresh membership epoch, and go around -- draining
+        // nothing twice (see fence_abort_and_rejoin).
+        fence_abort_and_rejoin();
+        continue;
+      }
     }
     // 1. Drain local work (head of the queue = highest affinity).
     if (queue_->pop_local(exec_buf)) {
@@ -303,17 +363,20 @@ void TaskCollection::process() {
     // 3a. Fault recovery: adopt work stranded by dead ranks before trying
     // to steal from live ones.
     if (ft) {
-      std::uint64_t e = fault::epoch();
+      // Membership through the detector's view (oracle fallback when
+      // disarmed): ward assignments and the victim pool re-form on every
+      // epoch bump, including rejoins of falsely-suspected ranks.
+      std::uint64_t e = detect::epoch();
       if (e != epoch_seen_[self]) {
         epoch_seen_[self] = e;
         wards_[self].clear();
         alive_others_[self].clear();
         for (Rank r = 0; r < n; ++r) {
-          if (fault::alive(r)) {
+          if (detect::alive(r)) {
             if (r != rt_.me()) {
               alive_others_[self].push_back(r);
             }
-          } else if (fault::successor(r) == rt_.me()) {
+          } else if (detect::successor(r) == rt_.me()) {
             wards_[self].push_back(r);
           }
         }
@@ -360,7 +423,7 @@ void TaskCollection::process() {
             }
           }
         }
-        if (ft && victim != kNoRank && !fault::alive(victim)) {
+        if (ft && victim != kNoRank && !detect::alive(victim)) {
           victim = kNoRank;  // node bias picked a dead rank; resample
         }
         if (victim == kNoRank) {
@@ -430,16 +493,30 @@ void TaskCollection::process() {
           }
           victim = next;
         }
+        if (got > 0 && ft) {
+          // This is the window the victim-side transaction log protects:
+          // the chunk is copied out but not yet requeued. A kill here
+          // loses only our private copy -- the victim (or its ward)
+          // replays the chunk from the log.
+          fault::poll_safepoint(rt_.me());
+          if (hb_ && !detect::alive(rt_.me())) {
+            // Falsely confirmed dead mid-steal: the victim's ward may be
+            // replaying our open transaction right now. The txn record
+            // arbitrates -- winning the 1->0 reclaim keeps the chunk ours
+            // (the ward's 1->2 claim can no longer succeed, and our later
+            // commit_steal finds the record already closed); losing means
+            // the ward replayed it and our copy must be discarded, or the
+            // chunk would run twice.
+            bool ours = queue_->reclaim_txn(victim);
+            fence_abort_and_rejoin();
+            if (!ours) {
+              got = 0;
+            }
+          }
+        }
         if (got > 0) {
           if (cores > 1 && rt_.machine().same_node(rt_.me(), victim)) {
             st.steals_same_node++;
-          }
-          if (ft) {
-            // This is the window the victim-side transaction log protects:
-            // the chunk is copied out but not yet requeued. A kill here
-            // loses only our private copy -- the victim (or its ward)
-            // replays the chunk from the log.
-            fault::poll_safepoint(rt_.me());
           }
           td_->note_lb_op(victim);
           // The search ends with the successful steal: charge it now, before

@@ -20,6 +20,7 @@
 
 #include "base/rng.hpp"
 #include "base/table.hpp"
+#include "detect/detect.hpp"
 #include "scioto/clo.hpp"
 #include "scioto/queue.hpp"
 #include "scioto/task.hpp"
@@ -188,12 +189,19 @@ class TaskCollection {
 
  private:
   void execute(std::byte* descriptor);
+  /// Detector-mode false-suspicion recovery: acknowledge the adoption
+  /// fence on our queue, re-enter the membership view in a new epoch, and
+  /// force our next termination vote black.
+  void fence_abort_and_rejoin();
   TcStats& my_stats() { return stats_[static_cast<std::size_t>(rt_.me())]; }
 
   pgas::Runtime& rt_;
   TcConfig cfg_;
   std::unique_ptr<SplitQueue> queue_;
   std::unique_ptr<TerminationDetector> td_;
+  /// Heartbeat publisher/prober, present iff the failure detector is
+  /// armed; pumped from the top of the process() loop.
+  std::unique_ptr<detect::HeartbeatProbe> hb_;
   CloRegistry clos_;
   /// Per-rank callback tables (identical contents by SPMD discipline).
   std::vector<CallbackRegistry> registries_;

@@ -1,9 +1,23 @@
 #include "scioto/termination.hpp"
 
+#include <cstddef>
+
+#include "detect/membership.hpp"
 #include "fault/fault.hpp"
 #include "trace/trace.hpp"
 
 namespace scioto {
+
+namespace {
+
+// All mailbox access goes through atomic_ref so the one-sided stores the
+// runtime performs on our TdCtl are race-free against these local ops.
+template <class T>
+std::atomic_ref<T> aref(T& word) {
+  return std::atomic_ref<T>(word);
+}
+
+}  // namespace
 
 TerminationDetector::TerminationDetector(pgas::Runtime& rt)
     : TerminationDetector(rt, Config{}) {}
@@ -56,20 +70,29 @@ bool TerminationDetector::is_descendant(const LocalState& st, Rank v,
 }
 
 void TerminationDetector::maybe_resplice(LocalState& st) {
-  std::uint64_t e = fault::epoch();
+  std::uint64_t e = detect::epoch();
   if (e == st.epoch_seen) {
     return;
   }
   Rank me = rt_.me();
-  st.epoch_seen = e;
-  st.alive = fault::alive_ranks();
-  int pos = 0;
-  for (std::size_t i = 0; i < st.alive.size(); ++i) {
-    if (st.alive[i] == me) {
+  std::vector<Rank> alive = detect::alive_ranks();
+  int pos = -1;
+  for (std::size_t i = 0; i < alive.size(); ++i) {
+    if (alive[i] == me) {
       pos = static_cast<int>(i);
       break;
     }
   }
+  if (pos < 0) {
+    // This rank is (falsely) confirmed dead in the new epoch and has no
+    // seat in the respliced tree. Keep the previous tree rather than
+    // electing ourselves root-by-default: the work loop observes the same
+    // verdict, fences off, and rejoins -- which bumps the epoch again
+    // with us back in the alive list.
+    return;
+  }
+  st.epoch_seen = e;
+  st.alive = std::move(alive);
   st.parent =
       pos == 0 ? kNoRank : st.alive[static_cast<std::size_t>((pos - 1) / 2)];
   st.up_slot = pos == 0 ? 0 : (pos - 1) % 2;
@@ -88,41 +111,22 @@ void TerminationDetector::maybe_resplice(LocalState& st) {
                      static_cast<long long>(st.alive.size()), 0);
 }
 
-template <class T, class V>
-void TerminationDetector::put_token(Rank target, std::atomic<T>& field,
-                                    V value, [[maybe_unused]] int what) {
-  if (fault::active()) {
-    int attempt = 0;
-    for (;;) {
-      fault::OpFate f =
-          fault::one_sided_fate(fault::OpKind::Token, rt_.me(), target);
-      if (f.fate == fault::Fate::Fail) {
-        // A silently lost wave token stalls detection forever, so token
-        // delivery retries past the drop rule's budget (plans carry finite
-        // drop counts, so this terminates).
-        my_counters().token_retries++;
-        rt_.charge(fault::backoff(rt_.me(), attempt++));
-        rt_.relax();
-        continue;
-      }
-      if (f.fate == fault::Fate::Delay && f.delay > 0) {
-        rt_.charge(f.delay);
-      }
-      break;
-    }
-  }
-  rt_.backend().rma_charge_oneway(target, sizeof(T));
-  field.store(static_cast<T>(value), std::memory_order_release);
+void TerminationDetector::put_token(Rank target, std::size_t offset,
+                                    std::uint64_t value, std::size_t width,
+                                    [[maybe_unused]] int what) {
+  int retries = 0;
+  rt_.put_word_reliable(seg_, target, offset, value, width, &retries);
+  my_counters().token_retries += static_cast<std::uint64_t>(retries);
   SCIOTO_TRACE_EVENT(rt_.me(), trace::Ev::TokenSend, target, what, 0);
 }
 
 void TerminationDetector::reset_local() {
   TdCtl& my = ctl(rt_.me());
-  my.down_wave.store(0, std::memory_order_relaxed);
-  my.up[0].store(0, std::memory_order_relaxed);
-  my.up[1].store(0, std::memory_order_relaxed);
-  my.term_wave.store(0, std::memory_order_relaxed);
-  my.dirty.store(0, std::memory_order_relaxed);
+  aref(my.down_wave).store(0, std::memory_order_relaxed);
+  aref(my.up[0]).store(0, std::memory_order_relaxed);
+  aref(my.up[1]).store(0, std::memory_order_relaxed);
+  aref(my.term_wave).store(0, std::memory_order_relaxed);
+  aref(my.dirty).store(0, std::memory_order_relaxed);
   LocalState st{};
   Rank me = rt_.me();
   st.parent = me == 0 ? kNoRank : (me - 1) / 2;
@@ -145,7 +149,7 @@ void TerminationDetector::note_lb_op(Rank other) {
   LocalState& st = state_[static_cast<std::size_t>(rt_.me())];
   st.self_black = true;
 
-  if (fault::active() && !fault::alive(other)) {
+  if ((fault::active() || detect::active()) && !detect::alive(other)) {
     // A dead partner never votes again; our own black vote covers the op.
     my_counters().dirty_marks_skipped++;
     return;
@@ -159,7 +163,8 @@ void TerminationDetector::note_lb_op(Rank other) {
       return;
     }
   }
-  put_token(other, ctl(other).dirty, 1u, /*what=*/3);
+  put_token(other, offsetof(TdCtl, dirty), 1, sizeof(std::uint32_t),
+            /*what=*/3);
   my_counters().dirty_marks_sent++;
 }
 
@@ -174,24 +179,28 @@ TerminationDetector::Status TerminationDetector::step() {
     return Status::Terminated;
   }
   rt_.charge(rt_.machine().poll);
-  if (fault::active()) {
+  if (fault::active() || detect::active()) {
     maybe_resplice(st);
   }
   TdCtl& my = ctl(me);
   ++st.steps;
 
   // ---- Termination broadcast ----
-  std::uint64_t tw = my.term_wave.load(std::memory_order_acquire);
+  std::uint64_t tw = aref(my.term_wave).load(std::memory_order_acquire);
   if (tw == 0 && st.epoch_seen > 0 && st.parent != kNoRank &&
       (st.steps & 7u) == 0) {
     // Post-resplice liveness: a decision broadcast down the old tree can
     // strand behind a dead (or already-terminated) forwarder, so poll the
-    // current parent's mailbox directly now and then. Chained polling
-    // percolates the decision down the new tree.
-    rt_.rma_charge(st.parent, sizeof(std::uint64_t));
-    tw = ctl(st.parent).term_wave.load(std::memory_order_acquire);
-    if (tw != 0) {
-      my.term_wave.store(tw, std::memory_order_relaxed);
+    // current parent's mailbox directly now and then -- through the
+    // retrying failure-aware read, so a dropped poll is repeated instead
+    // of silently read as "not decided". Chained polling percolates the
+    // decision down the new tree.
+    std::uint64_t ptw = 0;
+    pgas::OpStatus pst = rt_.get_u64_with_retry(
+        seg_, st.parent, offsetof(TdCtl, term_wave), &ptw);
+    if (pst != pgas::OpStatus::Dropped && ptw != 0) {
+      tw = ptw;
+      aref(my.term_wave).store(tw, std::memory_order_relaxed);
     }
   }
   if (tw != 0) {
@@ -201,7 +210,8 @@ TerminationDetector::Status TerminationDetector::step() {
       st.term_forwarded = true;
       for (int s = 0; s < 2; ++s) {
         if (st.kids[s] != kNoRank) {
-          put_token(st.kids[s], ctl(st.kids[s]).term_wave, tw, /*what=*/2);
+          put_token(st.kids[s], offsetof(TdCtl, term_wave), tw,
+                    sizeof(std::uint64_t), /*what=*/2);
         }
       }
     }
@@ -221,20 +231,22 @@ TerminationDetector::Status TerminationDetector::step() {
       SCIOTO_TRACE_EVENT(me, trace::Ev::WaveStart, st.wave_seen, 0, 0);
       for (int s = 0; s < 2; ++s) {
         if (st.kids[s] != kNoRank) {
-          put_token(st.kids[s], ctl(st.kids[s]).down_wave,
-                    tag(st.epoch_seen, st.wave_seen), /*what=*/0);
+          put_token(st.kids[s], offsetof(TdCtl, down_wave),
+                    tag(st.epoch_seen, st.wave_seen), sizeof(std::uint64_t),
+                    /*what=*/0);
         }
       }
     }
   } else {
-    std::uint64_t dw = my.down_wave.load(std::memory_order_acquire);
+    std::uint64_t dw = aref(my.down_wave).load(std::memory_order_acquire);
     if ((dw >> kEpochShift) == st.epoch_seen &&
         (dw & kWaveMask) > st.wave_seen) {
       st.wave_seen = dw & kWaveMask;
       for (int s = 0; s < 2; ++s) {
         if (st.kids[s] != kNoRank) {
-          put_token(st.kids[s], ctl(st.kids[s]).down_wave,
-                    tag(st.epoch_seen, st.wave_seen), /*what=*/0);
+          put_token(st.kids[s], offsetof(TdCtl, down_wave),
+                    tag(st.epoch_seen, st.wave_seen), sizeof(std::uint64_t),
+                    /*what=*/0);
         }
       }
     }
@@ -247,7 +259,7 @@ TerminationDetector::Status TerminationDetector::step() {
     bool children_black = false;
     for (int s = 0; s < 2; ++s) {
       if (st.kids[s] == kNoRank) continue;
-      std::uint64_t u = my.up[s].load(std::memory_order_acquire);
+      std::uint64_t u = aref(my.up[s]).load(std::memory_order_acquire);
       if ((u >> 1) != expected) {
         children_in = false;
         break;
@@ -256,7 +268,7 @@ TerminationDetector::Status TerminationDetector::step() {
     }
     if (children_in) {
       bool black = children_black || st.self_black ||
-                   my.dirty.exchange(0, std::memory_order_acq_rel) != 0;
+                   aref(my.dirty).exchange(0, std::memory_order_acq_rel) != 0;
       st.self_black = false;
       st.voted_wave = st.wave_seen;
       my_counters().waves_voted++;
@@ -267,12 +279,16 @@ TerminationDetector::Status TerminationDetector::step() {
       if (root) {
         if (!black) {
           // All-white wave: decide termination and broadcast.
-          my.term_wave.store(expected, std::memory_order_release);
+          aref(my.term_wave).store(expected, std::memory_order_release);
         }
         // Black: the next step() launches a fresh wave.
       } else {
-        put_token(st.parent, ctl(st.parent).up[st.up_slot],
-                  (expected << 1) | (black ? 1u : 0u), /*what=*/1);
+        put_token(st.parent,
+                  offsetof(TdCtl, up) +
+                      static_cast<std::size_t>(st.up_slot) *
+                          sizeof(std::uint64_t),
+                  (expected << 1) | (black ? 1u : 0u), sizeof(std::uint64_t),
+                  /*what=*/1);
       }
     }
   }

@@ -99,15 +99,19 @@ class TerminationDetector {
   Counters counters_sum() const;
 
  private:
+  // Mailbox words are plain integers accessed exclusively through
+  // std::atomic_ref (locally) and the runtime's word ops (remotely:
+  // put_word_reliable / get_u64_with_retry), so every cross-rank token
+  // movement flows through the failure-aware retrying PGAS layer.
   struct alignas(64) TdCtl {
     /// Latest wave number announced by the parent.
-    std::atomic<std::uint64_t> down_wave{0};
+    std::uint64_t down_wave = 0;
     /// Child reports: (wave << 1) | black_bit, one slot per child.
-    std::atomic<std::uint64_t> up[2]{};
+    std::uint64_t up[2] = {0, 0};
     /// Nonzero once termination is decided (value = deciding wave).
-    std::atomic<std::uint64_t> term_wave{0};
+    std::uint64_t term_wave = 0;
     /// Set one-sided by thieves / remote adders.
-    std::atomic<std::uint32_t> dirty{0};
+    std::uint32_t dirty = 0;
   };
 
   // Tokens are (epoch << kEpochShift) | wave; with no fault session the
@@ -146,12 +150,14 @@ class TerminationDetector {
   /// Recomputes this rank's tree neighbours when the fault epoch moved;
   /// resets wave state and forces the next vote black.
   void maybe_resplice(LocalState& st);
-  /// One-sided 8-byte put of a token field. `what` names the field for the
-  /// trace stream (0=down, 1=up, 2=term, 3=dirty). Under fault injection,
-  /// dropped sends are retried with jittered exponential backoff (token
+  /// One-sided put of the token word at `offset` in the target's TdCtl
+  /// (width 4 for dirty, 8 otherwise). `what` names the field for the
+  /// trace stream (0=down, 1=up, 2=term, 3=dirty). Delegates to
+  /// Runtime::put_word_reliable: under fault injection, dropped sends are
+  /// retried unboundedly with jittered exponential backoff (token
   /// delivery is protocol-critical: a lost wave token stalls detection).
-  template <class T, class V>
-  void put_token(Rank target, std::atomic<T>& field, V value, int what);
+  void put_token(Rank target, std::size_t offset, std::uint64_t value,
+                 std::size_t width, int what);
 
   pgas::Runtime& rt_;
   Config cfg_;

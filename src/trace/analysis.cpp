@@ -174,6 +174,77 @@ Table breakdown_table(const std::vector<RankBreakdown>& rows) {
   return t;
 }
 
+std::vector<DetectionRecord> detection_latency(const std::vector<Event>& events,
+                                               int nranks) {
+  SCIOTO_REQUIRE(nranks >= 1, "detection_latency: nranks must be >= 1");
+  // FaultType::Kill encodes as 0 in FaultInjected.a; trace sits below
+  // fault in the layering, so we match the raw value rather than include
+  // the enum (locked in by tests/test_detect.cpp).
+  constexpr std::int32_t kKillType = 0;
+  std::size_t n = static_cast<std::size_t>(nranks);
+  std::vector<TimeNs> killed(n, -1);
+  std::vector<std::int64_t> suspects(n, 0);
+  std::vector<std::int64_t> refutes(n, 0);
+  std::vector<int> record_of(n, -1);
+  std::vector<DetectionRecord> out;
+  for (const Event& e : events) {
+    if (e.a < 0 || (e.kind != Ev::FaultInjected && e.a >= nranks)) {
+      continue;
+    }
+    switch (e.kind) {
+      case Ev::FaultInjected:
+        if (e.a == kKillType && e.b >= 0 && e.b < nranks &&
+            killed[static_cast<std::size_t>(e.b)] < 0) {
+          killed[static_cast<std::size_t>(e.b)] = e.t;
+        }
+        break;
+      case Ev::Suspect:
+        suspects[static_cast<std::size_t>(e.a)] += 1;
+        break;
+      case Ev::Refute:
+        refutes[static_cast<std::size_t>(e.a)] += 1;
+        break;
+      case Ev::ConfirmDead:
+        if (record_of[static_cast<std::size_t>(e.a)] < 0) {
+          record_of[static_cast<std::size_t>(e.a)] =
+              static_cast<int>(out.size());
+          DetectionRecord r;
+          r.dead = e.a;
+          r.confirmed_by = e.rank;
+          r.confirmed_at = e.t;
+          out.push_back(r);
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  for (DetectionRecord& r : out) {
+    std::size_t d = static_cast<std::size_t>(r.dead);
+    r.was_killed = killed[d] >= 0;
+    r.killed_at = r.was_killed ? killed[d] : 0;
+    r.suspects = suspects[d];
+    r.refutes = refutes[d];
+  }
+  return out;
+}
+
+Table detection_table(const std::vector<DetectionRecord>& rows) {
+  Table t({"rank", "kind", "killed_ms", "confirmed_ms", "latency_ms",
+           "confirmed_by", "suspects", "refutes"});
+  for (const DetectionRecord& r : rows) {
+    t.add_row({"r" + std::to_string(r.dead),
+               r.was_killed ? "kill" : "false",
+               r.was_killed ? ns_to_ms(r.killed_at) : "-",
+               ns_to_ms(r.confirmed_at),
+               r.was_killed ? ns_to_ms(r.latency()) : "-",
+               "r" + std::to_string(r.confirmed_by),
+               Table::fmt(r.suspects),
+               Table::fmt(r.refutes)});
+  }
+  return t;
+}
+
 std::vector<std::vector<OccupancySample>> occupancy_timeline(
     const std::vector<Event>& events, int nranks) {
   SCIOTO_REQUIRE(nranks >= 1, "occupancy_timeline: nranks must be >= 1");

@@ -90,4 +90,34 @@ struct OccupancySample {
 std::vector<std::vector<OccupancySample>> occupancy_timeline(
     const std::vector<Event>& events, int nranks);
 
+/// One death (or false suspicion) as seen by the failure detector: when
+/// the kill was injected (FaultInjected) and when the first survivor
+/// confirmed the rank dead (ConfirmDead). A record with `was_killed ==
+/// false` is a false confirmation -- the detector condemned a rank that
+/// was merely stalled (the lease fence, not the detector, is what keeps
+/// that safe).
+struct DetectionRecord {
+  Rank dead = kNoRank;          // the rank the detector confirmed dead
+  Rank confirmed_by = kNoRank;  // first rank to record ConfirmDead
+  TimeNs killed_at = 0;         // FaultInjected kill time (0 if !was_killed)
+  TimeNs confirmed_at = 0;      // first ConfirmDead time
+  bool was_killed = false;      // a kill fault actually targeted this rank
+  std::int64_t suspects = 0;    // Suspect events naming this rank
+  std::int64_t refutes = 0;     // Refute events naming this rank
+  /// Kill-to-confirmation gap; 0 for false confirmations.
+  TimeNs latency() const { return was_killed ? confirmed_at - killed_at : 0; }
+};
+
+/// Matches each rank's first ConfirmDead against its FaultInjected kill
+/// (if any) over a merged, time-ordered stream (trace::all_events()), so
+/// "first" confirmation means earliest across all observers. One record
+/// per rank that was ever confirmed dead, in confirmation order.
+std::vector<DetectionRecord> detection_latency(const std::vector<Event>& events,
+                                               int nranks);
+
+/// Renders one row per confirmed death: kind (kill / false), kill and
+/// confirmation times, detection latency, confirming rank, and the
+/// suspect/refute churn leading up to it.
+Table detection_table(const std::vector<DetectionRecord>& rows);
+
 }  // namespace scioto::trace

@@ -68,6 +68,11 @@ const char* ev_category(Ev kind) {
       return "steal";
     case Ev::ReacquireFast:
       return "queue";
+    case Ev::Suspect:
+    case Ev::Refute:
+    case Ev::ConfirmDead:
+    case Ev::FenceAbort:
+      return "detect";
   }
   return "?";
 }
@@ -195,6 +200,21 @@ void emit_event(std::ostream& os, const Event& e) {
     case Ev::ReacquireFast:
       emit_head(os, e, "queue", "C", e.t);
       os << ",\"args\":{\"tasks\":" << e.c << "}}";
+      return;
+    case Ev::Suspect:
+    case Ev::ConfirmDead:
+      emit_head(os, e, ev_name(e.kind), "i", e.t);
+      os << ",\"s\":\"t\",\"args\":{\"rank\":" << e.a
+         << ",\"silence_ns\":" << e.c << "}}";
+      return;
+    case Ev::Refute:
+      emit_head(os, e, ev_name(e.kind), "i", e.t);
+      os << ",\"s\":\"t\",\"args\":{\"rank\":" << e.a << "}}";
+      return;
+    case Ev::FenceAbort:
+      emit_head(os, e, ev_name(e.kind), "i", e.t);
+      os << ",\"s\":\"t\",\"args\":{\"adopter\":" << e.a
+         << ",\"epoch\":" << e.b << "}}";
       return;
   }
 }

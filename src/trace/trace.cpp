@@ -71,6 +71,14 @@ const char* ev_name(Ev kind) {
       return "steal_retarget";
     case Ev::ReacquireFast:
       return "reacquire_fast";
+    case Ev::Suspect:
+      return "suspect";
+    case Ev::Refute:
+      return "refute";
+    case Ev::ConfirmDead:
+      return "confirm_dead";
+    case Ev::FenceAbort:
+      return "fence_abort";
   }
   return "?";
 }

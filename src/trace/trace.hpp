@@ -75,6 +75,11 @@ enum class Ev : std::uint8_t {
   StealBusy,      // a=victim rank (aborting steal: lock held, no transfer)
   StealRetarget,  // a=busy victim, b=new victim, c=backoff charged (ns)
   ReacquireFast,  // a=tasks reacquired via the lock-free owner fast path
+  Suspect,        // a=suspected rank, c=silence observed so far (ns)
+  Refute,         // a=formerly-suspected rank (its heartbeat advanced)
+  ConfirmDead,    // a=confirmed-dead rank, c=silence at confirmation (ns)
+  FenceAbort,     // a=fence adopter rank, b=fence epoch (owner woke up,
+                  //   observed an adoption fence, aborted its work loop)
 };
 
 /// Human-readable kind name (used by the exporter and analyses).

@@ -1,0 +1,309 @@
+// Heartbeat failure detector tests: the membership view's oracle
+// fallback, detector-mode kill recovery (deaths *detected* through
+// one-sided probes, not read from the fault oracle), the false-suspicion
+// safety property (a stalled-but-alive rank whose queue was adopted under
+// a lease fence resumes, aborts, and nothing executes twice), detection
+// latency analysis over the trace, determinism of detector-mode replays,
+// and the C API knobs.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "apps/uts/uts_drivers.hpp"
+#include "detect/membership.hpp"
+#include "fault/fault.hpp"
+#include "fault/plan.hpp"
+#include "scioto/scioto_c.h"
+#include "test_util.hpp"
+#include "trace/analysis.hpp"
+#include "trace/trace.hpp"
+
+namespace scioto {
+namespace {
+
+using pgas::Runtime;
+
+/// Stages the detector on for the enclosing scope and restores the prior
+/// staged config on exit (run_spmd arms/disarms the session itself).
+class DetectorGuard {
+ public:
+  explicit DetectorGuard(const detect::Config* tuned = nullptr)
+      : saved_(detect::config()) {
+    detect::Config c = tuned ? *tuned : saved_;
+    c.enabled = true;
+    detect::set_config(c);
+  }
+  ~DetectorGuard() { detect::set_config(saved_); }
+
+ private:
+  detect::Config saved_;
+};
+
+apps::UtsResult run_uts_detector(int nranks, const std::string& plan,
+                                 std::uint64_t seed,
+                                 const apps::UtsParams& tree,
+                                 pgas::BackendKind backend =
+                                     pgas::BackendKind::Sim) {
+  fault::start(nranks, fault::FaultPlan::parse(plan), seed);
+  apps::UtsResult res;
+  testing::run(
+      nranks, backend,
+      [&](Runtime& rt) {
+        apps::UtsRunConfig rc;
+        res = apps::uts_run_scioto_ft(rt, tree, rc);
+      },
+      seed);
+  fault::stop();
+  return res;
+}
+
+// ---- membership view ----
+
+TEST(DetectView, DisarmedFallsBackToOracle) {
+  ASSERT_FALSE(detect::active());
+  // No fault session either: everyone is alive, epoch 0.
+  EXPECT_TRUE(detect::alive(0));
+  EXPECT_EQ(detect::epoch(), 0u);
+
+  // With only the oracle armed, the view mirrors it exactly.
+  fault::start(4, fault::FaultPlan{}, 7);
+  EXPECT_EQ(detect::alive_count(), 4);
+  fault::mark_dead(2);
+  EXPECT_FALSE(detect::alive(2));
+  EXPECT_EQ(detect::alive_count(), 3);
+  EXPECT_EQ(detect::epoch(), fault::epoch());
+  EXPECT_EQ(detect::successor(1), 3);
+  fault::stop();
+}
+
+TEST(DetectView, ConfirmDeadWinsOnceAndRejoinReadmits) {
+  detect::start(4);
+  const std::uint64_t e0 = detect::epoch();
+  // Exactly one prober wins the transition; the epoch bumps once.
+  EXPECT_TRUE(detect::confirm_dead(2, /*by=*/0));
+  EXPECT_FALSE(detect::confirm_dead(2, /*by=*/1));
+  EXPECT_FALSE(detect::alive(2));
+  EXPECT_EQ(detect::epoch(), e0 + 1);
+  EXPECT_EQ(detect::successor(1), 3);
+  // Rejoin re-admits and bumps again so every rank resplices.
+  std::uint64_t e2 = detect::rejoin(2);
+  EXPECT_EQ(e2, e0 + 2);
+  EXPECT_TRUE(detect::alive(2));
+  detect::Stats s = detect::stats();
+  EXPECT_EQ(s.confirms, 1u);
+  EXPECT_EQ(s.rejoins, 1u);
+  detect::stop();
+}
+
+// ---- detector-mode kill recovery: the PR 2 headline, oracle off ----
+
+TEST(DetectRecovery, UtsExactWithQuarterOfRanksKilledDetectorMode) {
+  const apps::UtsParams tree = apps::uts_small();
+  const apps::UtsCounts expected = apps::uts_sequential(tree);
+  DetectorGuard guard;
+  apps::UtsResult res = run_uts_detector(
+      8, "kill:rank=2,at=400us;kill:rank=5,at=700us", 42, tree);
+  EXPECT_EQ(res.survivors, 6);
+  EXPECT_TRUE(res.counts == expected)
+      << "counted " << res.counts.nodes << " nodes, expected "
+      << expected.nodes;
+  // Both deaths were learned through probes: the detector (not the
+  // oracle) confirmed them, and someone paid heartbeats/probes to do it.
+  detect::Stats s = detect::stats();
+  EXPECT_EQ(s.confirms, 2u);
+  EXPECT_GT(s.heartbeats, 0u);
+  EXPECT_GT(s.probes, 0u);
+  EXPECT_GT(s.max_detect_latency, 0u);
+}
+
+TEST(DetectRecovery, UtsExactAcrossKillSchedulesDetectorMode) {
+  const apps::UtsParams tree = apps::uts_tiny();
+  const apps::UtsCounts expected = apps::uts_sequential(tree);
+  const char* plans[] = {
+      "kill:rank=3,at=20us",
+      "kill:rank=1,at=40us;kill:rank=2,at=45us",
+      "kill:rank=0,at=30us",  // root rank dies too
+  };
+  for (const char* plan : plans) {
+    DetectorGuard guard;
+    apps::UtsResult res = run_uts_detector(4, plan, 7, tree);
+    EXPECT_TRUE(res.counts == expected)
+        << "plan '" << plan << "' counted " << res.counts.nodes
+        << " nodes, expected " << expected.nodes;
+  }
+}
+
+// ---- false suspicion: the lease fence earns its keep ----
+//
+// A whole-rank stall longer than confirm_after pushes a live rank past
+// the detector's timeout: a survivor confirms it dead, resplices the
+// tree, and adopts its queue under an (epoch, adopter) fence. When the
+// rank resumes it must observe the fence, abort its loop, drain nothing
+// twice, and rejoin -- the traversal total stays bit-identical to the
+// no-fault run, which is the zero-double-execution proof (every re-run
+// task would inflate the node count).
+
+TEST(DetectFalseSuspicion, StallResumeExactSim8Seeds) {
+  const apps::UtsParams tree = apps::uts_small();
+  const apps::UtsCounts expected = apps::uts_sequential(tree);
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    DetectorGuard guard;
+    apps::UtsResult res = run_uts_detector(
+        8, "stall:rank=3,at=200us,for=2ms", seed, tree);
+    EXPECT_TRUE(res.counts == expected)
+        << "seed " << seed << " counted " << res.counts.nodes
+        << " nodes, expected " << expected.nodes;
+    // Nobody actually died.
+    EXPECT_EQ(res.survivors, 8) << "seed " << seed;
+    detect::Stats s = detect::stats();
+    // The stalled rank was condemned (2ms silence >> 400us confirm) and
+    // came back: exactly one rank was ever confirmed dead, and rejoins
+    // match confirms -- every condemnation was a false alarm that
+    // recovered, none leaked.
+    EXPECT_GE(s.confirms, 1u) << "seed " << seed;
+    EXPECT_EQ(s.rejoins, s.confirms) << "seed " << seed;
+    EXPECT_EQ(s.fence_aborts, s.rejoins) << "seed " << seed;
+  }
+}
+
+TEST(DetectFalseSuspicion, StallResumeExactThreads8Seeds) {
+  const apps::UtsParams tree = apps::uts_tiny();
+  const apps::UtsCounts expected = apps::uts_sequential(tree);
+  // Wall-clock timeouts sized for a loaded CI machine: generous enough
+  // that scheduling noise alone rarely condemns a rank, small enough that
+  // the 80ms injected stall reliably does. Safety cannot depend on the
+  // tuning either way -- any falsely-condemned rank fences and rejoins.
+  detect::Config tuned = detect::config();
+  tuned.hb_period = us(200);
+  tuned.probe_period = us(400);
+  tuned.suspect_after = ms(5);
+  tuned.confirm_after = ms(20);
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    DetectorGuard guard(&tuned);
+    // Threads-backend rules trigger on safepoint-poll counts (after=),
+    // not virtual time.
+    apps::UtsResult res = run_uts_detector(
+        4, "stall:rank=3,after=40,for=80ms", seed, tree,
+        pgas::BackendKind::Threads);
+    EXPECT_TRUE(res.counts == expected)
+        << "seed " << seed << " counted " << res.counts.nodes
+        << " nodes, expected " << expected.nodes;
+    EXPECT_EQ(res.survivors, 4) << "seed " << seed;
+    detect::Stats s = detect::stats();
+    EXPECT_EQ(s.rejoins, s.confirms) << "seed " << seed;
+  }
+}
+
+// ---- detector-mode determinism + detection-latency analysis ----
+
+TEST(DetectTrace, SamePlanAndSeedReplaysByteIdenticalTrace) {
+  const apps::UtsParams tree = apps::uts_tiny();
+  const std::string plan = "kill:rank=2,at=50us";
+  auto traced_run = [&]() {
+    DetectorGuard guard;
+    trace::start(4);
+    (void)run_uts_detector(4, plan, 99, tree);
+    std::vector<trace::Event> evs = trace::all_events();
+    trace::stop();
+    return evs;
+  };
+  std::vector<trace::Event> a = traced_run();
+  std::vector<trace::Event> b = traced_run();
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_FALSE(a.empty());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].t, b[i].t) << "event " << i;
+    EXPECT_EQ(a[i].kind, b[i].kind) << "event " << i;
+    EXPECT_EQ(a[i].rank, b[i].rank) << "event " << i;
+    EXPECT_EQ(a[i].a, b[i].a) << "event " << i;
+    EXPECT_EQ(a[i].b, b[i].b) << "event " << i;
+    EXPECT_EQ(a[i].c, b[i].c) << "event " << i;
+    if (::testing::Test::HasFailure()) break;
+  }
+}
+
+TEST(DetectTrace, DetectionLatencyMatchesKillToFirstConfirm) {
+  const apps::UtsParams tree = apps::uts_small();
+  DetectorGuard guard;
+  trace::start(8);
+  (void)run_uts_detector(8, "kill:rank=2,at=400us;kill:rank=5,at=700us", 42,
+                         tree);
+  std::vector<trace::Event> evs = trace::all_events();
+  trace::stop();
+
+  std::vector<trace::DetectionRecord> dl = trace::detection_latency(evs, 8);
+  ASSERT_EQ(dl.size(), 2u);
+  for (const trace::DetectionRecord& r : dl) {
+    EXPECT_TRUE(r.dead == 2 || r.dead == 5);
+    EXPECT_TRUE(r.was_killed);
+    EXPECT_GT(r.latency(), 0);
+    // Confirmation cannot beat the detector's own timeout.
+    EXPECT_GE(r.latency(), detect::config().confirm_after);
+    EXPECT_NE(r.confirmed_by, r.dead);
+    EXPECT_GE(r.suspects, 1);
+  }
+  // Kills fire at the first safepoint at/after the planned time.
+  EXPECT_GE(dl[0].killed_at, us(400));
+  EXPECT_GE(dl[1].killed_at, us(700));
+  EXPECT_FALSE(trace::detection_table(dl).render("detection").empty());
+}
+
+TEST(DetectTrace, FalseConfirmationShowsAsFalseKind) {
+  const apps::UtsParams tree = apps::uts_small();
+  DetectorGuard guard;
+  trace::start(8);
+  (void)run_uts_detector(8, "stall:rank=3,at=200us,for=2ms", 3, tree);
+  std::vector<trace::Event> evs = trace::all_events();
+  trace::stop();
+
+  std::vector<trace::DetectionRecord> dl = trace::detection_latency(evs, 8);
+  ASSERT_GE(dl.size(), 1u);
+  EXPECT_EQ(dl[0].dead, 3);
+  EXPECT_FALSE(dl[0].was_killed);
+  EXPECT_EQ(dl[0].latency(), 0);
+  // The owner's abort left its mark in the stream.
+  bool saw_fence_abort = false;
+  for (const trace::Event& e : evs) {
+    saw_fence_abort = saw_fence_abort || e.kind == trace::Ev::FenceAbort;
+  }
+  EXPECT_TRUE(saw_fence_abort);
+}
+
+// ---- C API knobs ----
+
+TEST(DetectCApi, KnobsRoundTripAndSelfConsistency) {
+  const detect::Config before = detect::config();
+
+  EXPECT_EQ(scioto_detector_enabled(), 0);
+  scioto_detector_set(1);
+  EXPECT_EQ(scioto_detector_enabled(), 1);
+
+  // Raising the heartbeat period past the staged timeouts drags them up
+  // to keep suspect > hb and confirm > suspect.
+  scioto_set_hb_period_ns(us(50));
+  EXPECT_EQ(scioto_hb_period_ns(), us(50));
+  EXPECT_GT(scioto_suspect_timeout_ns(), us(50));
+
+  scioto_set_suspect_timeout_ns(us(900));
+  EXPECT_EQ(scioto_suspect_timeout_ns(), us(900));
+  EXPECT_GT(detect::config().confirm_after, us(900));
+
+  detect::set_config(before);
+  EXPECT_EQ(scioto_detector_enabled(), before.enabled ? 1 : 0);
+}
+
+TEST(DetectCApi, StatsSurfaceAfterDetectorRun) {
+  const apps::UtsParams tree = apps::uts_tiny();
+  DetectorGuard guard;
+  (void)run_uts_detector(4, "kill:rank=3,at=20us", 11, tree);
+  scioto_detector_stats_t s;
+  scioto_detector_stats_get(&s);
+  EXPECT_GT(s.heartbeats, 0u);
+  EXPECT_GT(s.probes, 0u);
+  EXPECT_EQ(s.confirms, 1u);
+  EXPECT_GT(s.max_detect_latency_ns, 0u);
+}
+
+}  // namespace
+}  // namespace scioto

@@ -5,6 +5,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <thread>
 #include <vector>
 
@@ -196,6 +197,13 @@ TEST(TdFaultSim, VictimDeathAfterStealNeverFiresEarly) {
   std::atomic<bool> stolen{false};
   std::atomic<bool> work_done{false};
   std::atomic<bool> early{false};
+  // This test scripts an oracle death (mark_dead) around a bare
+  // TerminationDetector: no HeartbeatProbe ever runs, so an env-armed
+  // failure detector could never confirm the death and the survivors
+  // would wait forever on the victim's subtree. Pin oracle mode here;
+  // the detector-mode version of this property -- death learned through
+  // heartbeat silence -- lives in tests/test_detect.cpp.
+  ::unsetenv("SCIOTO_DETECTOR");
   fault::start(kRanks, fault::FaultPlan{}, 7);
   testing::run_sim(kRanks, [&](Runtime& rt) {
     TerminationDetector td(rt);
