@@ -32,6 +32,13 @@ SplitQueue::SplitQueue(pgas::Runtime& rt, Config cfg)
   SCIOTO_REQUIRE(!(ft_ && cfg_.mode == QueueMode::WaitFreeSteal),
                  "fault tolerance requires locked steals: wait-free mode "
                  "has no lock to anchor the steal transaction");
+  // The adoption lease packs (epoch << 16) | (adopter + 1) into one CAS-able
+  // word; a rank id that spills past 16 bits would corrupt the epoch field
+  // the rival-ward comparison keys off. (Epochs bump only on deaths and
+  // rejoins, so 48 bits cannot realistically wrap within a session.)
+  SCIOTO_REQUIRE(!ft_ || rt.nprocs() < 0xffff,
+                 "fault tolerance supports at most 65534 ranks: the "
+                 "adoption lease packs the adopter rank into 16 bits");
   internal_cap_ = cfg_.capacity + static_cast<std::uint64_t>(rt.nprocs()) +
                   2 * static_cast<std::uint64_t>(cfg_.chunk);
   const std::size_t nranks = static_cast<std::size_t>(rt.nprocs());
@@ -90,16 +97,19 @@ std::byte* SplitQueue::txn_buf(Rank victim, Rank thief) {
 }
 
 std::uint64_t SplitQueue::steal_boundary(const Ctl& c) const {
+  // unfrozen(): a dead NoSplit rank's priv_tail stays freeze-tagged after
+  // adoption; the masked value is the anchored index thieves may read.
   return cfg_.mode == QueueMode::NoSplit
-             ? c.priv_tail.load(std::memory_order_acquire)
+             ? unfrozen(c.priv_tail.load(std::memory_order_acquire))
              : c.split.load(std::memory_order_acquire);
 }
 
 std::uint64_t SplitQueue::private_size() const {
   const Ctl& c = const_cast<SplitQueue*>(this)->ctl(rt_.me());
   // Clamped: a ward freezing priv_tail mid-adoption can transiently leave
-  // priv_tail below split; the difference must not wrap.
-  std::uint64_t pt = c.priv_tail.load(std::memory_order_relaxed);
+  // priv_tail below split; the difference must not wrap. The freeze tag is
+  // masked off so a fenced queue reports its true (empty) private depth.
+  std::uint64_t pt = unfrozen(c.priv_tail.load(std::memory_order_relaxed));
   std::uint64_t sp = c.split.load(std::memory_order_relaxed);
   return pt > sp ? pt - sp : 0;
 }
@@ -112,6 +122,25 @@ std::uint64_t SplitQueue::shared_size() const {
 }
 
 bool SplitQueue::push_local(const std::byte* task, int affinity) {
+  switch (try_push_local(task, affinity)) {
+    case PushOutcome::Ok:
+      return true;
+    case PushOutcome::Full:
+      return false;
+    case PushOutcome::Fenced:
+      // Our queue was adopted while we were falsely suspected: keep the
+      // task in the private stash (it is ours alone -- the ward never saw
+      // it -- and re-enters after rejoin) and let the work loop observe
+      // the fence. `task` never aliases the stash here: flush_overflow
+      // goes through try_push_local directly.
+      stash_overflow(task);
+      return true;
+  }
+  return false;
+}
+
+SplitQueue::PushOutcome SplitQueue::try_push_local(const std::byte* task,
+                                                   int affinity) {
   Rank me = rt_.me();
   Ctl& c = ctl(me);
   counters().pushes++;
@@ -121,18 +150,14 @@ bool SplitQueue::push_local(const std::byte* task, int affinity) {
     // the private end (affinity ordering needs the split design).
     rt_.lock(locks_, me);
     if (ft_ && c.fence.load(std::memory_order_acquire) != 0) {
-      // Our queue was adopted while we were falsely suspected: keep the
-      // task in the private stash (it re-enters after rejoin) and let the
-      // work loop observe the fence.
       rt_.unlock(locks_, me);
-      stash_overflow(task);
-      return true;
+      return PushOutcome::Fenced;
     }
     std::uint64_t pt = c.priv_tail.load(std::memory_order_relaxed);
     std::uint64_t sh = c.steal_head.load(std::memory_order_relaxed);
     if (pt - sh >= cfg_.capacity) {
       rt_.unlock(locks_, me);
-      return false;
+      return PushOutcome::Full;
     }
     std::memcpy(slot(me, pt), task, cfg_.slot_bytes);
     c.priv_tail.store(pt + 1, std::memory_order_release);
@@ -140,33 +165,41 @@ bool SplitQueue::push_local(const std::byte* task, int affinity) {
     rt_.unlock(locks_, me);
     rt_.charge(rt_.machine().local_insert);
     SCIOTO_TRACE_EVENT(me, trace::Ev::Push, affinity, 0, (pt + 1) - sh);
-    return true;
+    return PushOutcome::Ok;
   }
 
   if (affinity >= kAffinityHigh) {
     // Lock-free private push: thieves never touch [split, priv_tail).
     std::uint64_t pt = c.priv_tail.load(std::memory_order_relaxed);
+    if (ft_ && (pt & kFrozenBit)) {
+      // A ward froze the queue mid-adoption: bail before touching any
+      // slot -- the ward may be copying the ring out right now.
+      return PushOutcome::Fenced;
+    }
     std::uint64_t sh = c.steal_head.load(std::memory_order_acquire);
     if (pt - sh >= cfg_.capacity) {
-      return false;
+      return PushOutcome::Full;
     }
     std::memcpy(slot(me, pt), task, cfg_.slot_bytes);
     if (ft_) {
       // The CAS arbitrates against a ward freezing priv_tail mid-adoption
-      // (priv_tail has no other concurrent writer): a failure means our
-      // queue was adopted out from under us. Stash the task -- it is ours
-      // alone, the ward never saw it -- and re-enter it after rejoin.
+      // (priv_tail has no other concurrent writer): the freeze installs
+      // kFrozenBit, a value no loaded index can equal, so this CAS fails
+      // iff our queue was adopted out from under us -- even if the freeze
+      // landed between our load above and here. The slot we wrote sits at
+      // the old tail, outside the [steal_head, old priv_tail) span the
+      // ward copies, so the discarded write can never tear an adopted
+      // task.
       if (!c.priv_tail.compare_exchange_strong(pt, pt + 1,
                                                std::memory_order_seq_cst)) {
-        stash_overflow(task);
-        return true;
+        return PushOutcome::Fenced;
       }
     } else {
       c.priv_tail.store(pt + 1, std::memory_order_release);
     }
     rt_.charge(rt_.machine().local_insert);
     SCIOTO_TRACE_EVENT(me, trace::Ev::Push, affinity, 0, (pt + 1) - sh);
-    return true;
+    return PushOutcome::Ok;
   }
 
   // Low affinity: enter at the steal end so this task migrates first.
@@ -181,27 +214,26 @@ bool SplitQueue::push_local(const std::byte* task, int affinity) {
                          c.priv_tail.load(std::memory_order_relaxed) -
                              c.steal_head.load(std::memory_order_relaxed));
     }
-    return ok;
+    return ok ? PushOutcome::Ok : PushOutcome::Full;
   }
   rt_.lock(locks_, me);
   counters().owner_lock_acqs++;
   if (ft_ && c.fence.load(std::memory_order_acquire) != 0) {
     rt_.unlock(locks_, me);
-    stash_overflow(task);
-    return true;
+    return PushOutcome::Fenced;
   }
   std::uint64_t sh = c.steal_head.load(std::memory_order_relaxed);
   std::uint64_t pt = c.priv_tail.load(std::memory_order_relaxed);
   if (pt - (sh - 1) >= cfg_.capacity) {
     rt_.unlock(locks_, me);
-    return false;
+    return PushOutcome::Full;
   }
   std::memcpy(slot(me, sh - 1), task, cfg_.slot_bytes);
   c.steal_head.store(sh - 1, std::memory_order_seq_cst);
   rt_.unlock(locks_, me);
   rt_.charge(rt_.machine().local_insert);
   SCIOTO_TRACE_EVENT(me, trace::Ev::Push, affinity, 0, pt - (sh - 1));
-  return true;
+  return PushOutcome::Ok;
 }
 
 bool SplitQueue::pop_local(std::byte* out) {
@@ -231,17 +263,25 @@ bool SplitQueue::pop_local(std::byte* out) {
   }
 
   std::uint64_t pt = c.priv_tail.load(std::memory_order_relaxed);
+  if (ft_ && (pt & kFrozenBit)) {
+    // Adopted: bail before the index arithmetic below (the tagged word
+    // would read as a huge private depth) and, crucially, before the CAS
+    // -- a CAS whose expected value IS the frozen word would "succeed"
+    // and corrupt the freeze. The work loop observes the fence next.
+    return false;
+  }
   std::uint64_t sp = c.split.load(std::memory_order_relaxed);
   if (pt <= sp) {
     return false;  // private portion empty; caller should reacquire()
   }
   std::memcpy(out, slot(me, pt - 1), cfg_.slot_bytes);
   if (ft_) {
-    // Arbitrates against a ward's priv_tail freeze: a lost CAS means the
-    // task (and the rest of our queue) now belongs to the adopter --
-    // discard the copy, report empty, and let the work loop observe the
-    // fence. This is what makes "drains nothing twice" hold even when the
-    // suspicion was wrong.
+    // Arbitrates against a ward's priv_tail freeze: the freeze replaces
+    // the index with a kFrozenBit-tagged word no loaded value matches, so
+    // a lost CAS means the task (and the rest of our queue) now belongs
+    // to the adopter -- discard the copy, report empty, and let the work
+    // loop observe the fence. This is what makes "drains nothing twice"
+    // hold even when the suspicion was wrong.
     if (!c.priv_tail.compare_exchange_strong(pt, pt - 1,
                                              std::memory_order_seq_cst)) {
       return false;
@@ -475,7 +515,7 @@ int SplitQueue::steal_from_locked(Rank victim, std::byte* out) {
   // same instruction on x86 loads, and no sim charge either way.
   std::uint64_t sh = c.steal_head.load(std::memory_order_seq_cst);
   std::uint64_t bd = cfg_.mode == QueueMode::NoSplit
-                         ? c.priv_tail.load(std::memory_order_acquire)
+                         ? unfrozen(c.priv_tail.load(std::memory_order_acquire))
                          : c.split.load(std::memory_order_seq_cst);
   std::uint64_t avail = bd > sh ? bd - sh : 0;
   std::uint64_t n = steal_width(avail);
@@ -610,7 +650,7 @@ std::uint64_t SplitQueue::drain_dead(Rank dead) {
   // lock when there is nothing left to adopt.
   rt_.rma_charge(dead, 2 * sizeof(std::uint64_t));
   std::uint64_t sh = c.steal_head.load(std::memory_order_acquire);
-  std::uint64_t pt = c.priv_tail.load(std::memory_order_acquire);
+  std::uint64_t pt = unfrozen(c.priv_tail.load(std::memory_order_acquire));
   bool txn_work = false;
   for (Rank t = 0; t < rt_.nprocs() && !txn_work; ++t) {
     txn_work = txn(dead, t).state.load(std::memory_order_acquire) == 1 &&
@@ -652,19 +692,29 @@ std::uint64_t SplitQueue::drain_dead(Rank dead) {
     }
     rt_.backend().rma_charge_oneway(dead, sizeof(std::uint64_t));
   }
-  // Freeze the queue: swinging priv_tail down to steal_head makes every
-  // in-flight lock-free owner CAS (push pt->pt+1, pop pt->pt-1) fail, so
-  // a falsely-suspected owner can neither overwrite a slot we are copying
-  // nor execute a task we are adopting. The RMW total order on priv_tail
-  // also gives us visibility of every slot the owner published before it.
+  // Freeze the queue: swinging priv_tail to the kFrozenBit-tagged anchor
+  // makes every lock-free owner CAS (push pt->pt+1, pop pt->pt-1) fail --
+  // in-flight ones because their pre-freeze expected value cannot match
+  // the tag, future ones because the owner's re-read sees the tag and
+  // bails before touching a slot. (Freezing to the bare steal_head index
+  // would leave a hole: an owner confirmed dead mid-task-body could
+  // re-read priv_tail==sh after the freeze, memcpy into slot sh while we
+  // are copying it out, and CAS sh->sh+1 *successfully* -- torn bytes or
+  // a task executed by both owner and ward.) So a falsely-suspected owner
+  // can neither overwrite a slot we are copying nor execute a task we are
+  // adopting; only its own fence_ack thaws the index. The RMW total order
+  // on priv_tail also gives us visibility of every slot the owner
+  // published before it.
   sh = c.steal_head.load(std::memory_order_acquire);
-  pt = c.priv_tail.exchange(sh, std::memory_order_seq_cst);
+  pt = unfrozen(c.priv_tail.exchange(sh | kFrozenBit,
+                                     std::memory_order_seq_cst));
   SCIOTO_CHECK_MSG(pt >= sh, "drain_dead: priv_tail " << pt
                                  << " below steal_head " << sh);
   // Adopt everything in [steal_head, priv_tail): with the owner gone the
   // private/shared distinction is moot. steal_head stays put -- the lock
-  // excludes all readers -- and the queue ends low-anchored (sh = sp = pt)
-  // so a rejoining owner restarts from a trivially consistent state.
+  // excludes all readers -- and the queue ends low-anchored (sh = sp =
+  // unfrozen(pt)) so a rejoining owner, whose fence_ack thaws priv_tail
+  // back to that anchor, restarts from a trivially consistent state.
   std::byte* buf = reacquire_bufs_[static_cast<std::size_t>(me)].data();
   std::uint64_t idx = sh;
   while (idx < pt) {
@@ -723,15 +773,28 @@ std::uint64_t SplitQueue::fence_ack() {
   }
   Rank me = rt_.me();
   Ctl& c = ctl(me);
-  if (c.fence.load(std::memory_order_acquire) == 0) {
-    return 0;
-  }
-  // Take our own lock so the clear is ordered against any ward still
-  // inside an adoption; by the time we return the adopter is gone and the
-  // (low-anchored) queue is ours again.
+  // Take our own lock unconditionally -- even when the fence currently
+  // reads 0 -- and keep it across the clear, the thaw, AND the membership
+  // rejoin. A ward that passed its under-lock alive() re-check serializes
+  // here: either its fence install happened before we got the lock (we
+  // clear it below) or it acquires the lock after rejoin() marked us
+  // alive again and its re-check bails. An unlocked fence==0 early-out
+  // followed by a rejoin outside the lock leaves a fatal window: the ward
+  // installs its fence just after our read, we rejoin, and -- being alive
+  // -- we never come back to clear it, so pops fail, reacquire returns 0,
+  // and the stash counts as live work forever (termination hangs).
   rt_.lock(locks_, me);
   counters().owner_lock_acqs++;
   std::uint64_t old = c.fence.exchange(0, std::memory_order_acq_rel);
+  std::uint64_t pt = c.priv_tail.load(std::memory_order_relaxed);
+  if (pt & kFrozenBit) {
+    // Thaw: restore the low anchor the adopter's freeze tagged (it left
+    // sh = split = unfrozen(priv_tail)), re-enabling our lock-free ops.
+    c.priv_tail.store(unfrozen(pt), std::memory_order_release);
+  }
+  if (detect::active() && !detect::alive(me)) {
+    detect::rejoin(me);
+  }
   rt_.unlock(locks_, me);
   return old;
 }
@@ -754,7 +817,17 @@ bool SplitQueue::reclaim_txn(Rank victim) {
 
 void SplitQueue::stash_overflow(const std::byte* task) {
   auto& ov = overflow_[static_cast<std::size_t>(rt_.me())];
-  ov.insert(ov.end(), task, task + cfg_.slot_bytes);
+  const std::size_t n = cfg_.slot_bytes;
+  // Alias-safe append: if `task` points into ov's own storage, a plain
+  // insert() could reallocate and then copy from freed memory. Grow
+  // first, then copy by offset.
+  const std::byte* base = ov.data();
+  const std::size_t old_size = ov.size();
+  const bool aliases = std::less_equal<const std::byte*>{}(base, task) &&
+                       std::less<const std::byte*>{}(task, base + old_size);
+  const std::size_t off = aliases ? static_cast<std::size_t>(task - base) : 0;
+  ov.resize(old_size + n);
+  std::memcpy(ov.data() + old_size, aliases ? ov.data() + off : task, n);
 }
 
 bool SplitQueue::overflow_pending() const {
@@ -769,7 +842,12 @@ std::uint64_t SplitQueue::flush_overflow() {
   std::uint64_t moved = 0;
   while (!ov.empty()) {
     const std::byte* task = ov.data() + ov.size() - cfg_.slot_bytes;
-    if (!push_local(task, kAffinityHigh)) {
+    // try_push_local, not push_local: the stash-on-fence fallback would
+    // append a copy of the very task we are flushing (reading from ov
+    // while growing it) and report success, so the loop would re-flush
+    // the identical task forever. A Fenced outcome instead leaves the
+    // task stashed until after rejoin; Full leaves it for a later pass.
+    if (try_push_local(task, kAffinityHigh) != PushOutcome::Ok) {
       break;
     }
     ov.resize(ov.size() - cfg_.slot_bytes);
@@ -879,7 +957,9 @@ bool SplitQueue::add_remote(Rank target, const std::byte* task) {
     rt_.lock(locks_, target);
     Ctl& c = ctl(target);
     std::uint64_t sh = c.steal_head.load(std::memory_order_acquire);
-    std::uint64_t pt = c.priv_tail.load(std::memory_order_acquire);
+    // unfrozen(): an add racing a dead target's adoption (alive-check then
+    // death) must not misread the freeze tag as a full queue.
+    std::uint64_t pt = unfrozen(c.priv_tail.load(std::memory_order_acquire));
     if (pt - (sh - 1) >= cfg_.capacity) {
       rt_.unlock(locks_, target);
       return false;

@@ -183,11 +183,16 @@ class SplitQueue {
   /// private portion) plus transactions whose thief also died. Returns
   /// tasks adopted. Safe to call repeatedly; later calls find nothing.
   std::uint64_t drain_dead(Rank dead);
-  /// Owner side, after a false suspicion: atomically reads and clears the
-  /// fence word under our own lock (serializing with any in-flight ward).
-  /// Returns the old fence word (0 when we were never fenced). The caller
-  /// must detect::rejoin() afterwards -- the drained queue stays drained;
-  /// nothing is executed twice.
+  /// Owner side, after a false suspicion: under our own lock, atomically
+  /// clears the fence word, thaws the frozen priv_tail, and re-admits us
+  /// to the membership view (detect::rejoin). Holding the lock across the
+  /// rejoin is load-bearing: a ward that already passed its under-lock
+  /// alive() re-check serializes here, so it either installed its fence
+  /// before we took the lock (cleared below) or re-checks after the rejoin
+  /// and bails -- a fence can never be installed between an unlocked
+  /// fence==0 read and the rejoin, where nobody would ever clear it.
+  /// Returns the old fence word (0 when we were never fenced). The drained
+  /// queue stays drained; nothing is executed twice.
   std::uint64_t fence_ack();
   /// Thief side, after discovering we were falsely confirmed dead with a
   /// steal transaction still open on `victim`: tries to take the open txn
@@ -230,6 +235,27 @@ class SplitQueue {
   // (remote adds decrement steal_head) without underflow.
   static constexpr std::uint64_t kIndexBase = 1ull << 32;
 
+  /// Freeze tag a ward installs in priv_tail while it adopts the queue
+  /// (drain_dead). No reachable index ever carries this bit, so a falsely
+  /// suspected owner's lock-free push/pop CAS -- whose expected value is
+  /// always a previously *loaded* priv_tail -- can never succeed against a
+  /// frozen word, no matter whether the load happened before or after the
+  /// freeze: pre-freeze loads mismatch the tag, post-freeze loads bail on
+  /// it before touching a slot. Only fence_ack (owner, under its own lock)
+  /// thaws the index. This is what makes the freeze a real fence rather
+  /// than a value that an owner mid-task-body could legally re-read and
+  /// CAS right through while the ward is still copying slots out.
+  static constexpr std::uint64_t kFrozenBit = 1ull << 63;
+  static constexpr std::uint64_t unfrozen(std::uint64_t v) {
+    return v & ~kFrozenBit;
+  }
+
+  /// Internal push outcome. `Fenced`: the queue is adopted (fence set /
+  /// priv_tail frozen) and the task was NOT enqueued or stashed -- the
+  /// caller decides (push_local stashes; flush_overflow keeps the task in
+  /// the stash and bails instead of re-stashing the same task forever).
+  enum class PushOutcome { Ok, Full, Fenced };
+
   struct alignas(64) Ctl {
     std::atomic<std::uint64_t> steal_head{kIndexBase};
     std::atomic<std::uint64_t> split{kIndexBase};
@@ -256,6 +282,8 @@ class SplitQueue {
   std::byte* slot(Rank r, std::uint64_t index);
   TxnRecord& txn(Rank victim, Rank thief);
   std::byte* txn_buf(Rank victim, Rank thief);
+  /// push_local without the stash-on-fence fallback (see PushOutcome).
+  PushOutcome try_push_local(const std::byte* task, int affinity);
   void stash_overflow(const std::byte* task);
   /// Steal boundary as seen by thieves: split in split-based modes, the
   /// whole deque in NoSplit.

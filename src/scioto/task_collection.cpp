@@ -256,11 +256,15 @@ void TaskCollection::execute(std::byte* descriptor) {
 void TaskCollection::fence_abort_and_rejoin() {
   // Acknowledging the fence takes our own queue lock, so this blocks
   // until any in-flight adoption finishes; the fence word then reads the
-  // (epoch, adopter) lease that evicted us. Nothing is drained twice: our
-  // lock-free push/pop CASes failed from the moment the adopter froze
-  // priv_tail (bounced pushes sit in the overflow stash, rank-local
-  // memory the adopter never scoops), and the adopter's under-lock
-  // alive() re-check blocks any adoption attempted after this rejoin.
+  // (epoch, adopter) lease that evicted us. fence_ack also performs the
+  // detect::rejoin() under that same lock -- clearing the fence and
+  // rejoining must be one critical section, or a ward that passed its
+  // alive() re-check could install a fence between them that nobody ever
+  // clears. Nothing is drained twice: our lock-free push/pop CASes failed
+  // from the moment the adopter froze priv_tail (bounced pushes sit in
+  // the overflow stash, rank-local memory the adopter never scoops), and
+  // the adopter's under-lock alive() re-check blocks any adoption
+  // attempted after the rejoin.
   std::uint64_t fence = queue_->fence_ack();
   Rank adopter =
       fence != 0 ? static_cast<Rank>((fence & 0xffff) - 1) : kNoRank;
@@ -268,7 +272,6 @@ void TaskCollection::fence_abort_and_rejoin() {
   SCIOTO_TRACE_EVENT(rt_.me(), trace::Ev::FenceAbort,
                      adopter == kNoRank ? -1 : adopter,
                      static_cast<long long>(fence >> 16), 0);
-  detect::rejoin(rt_.me());
   if (hb_) {
     hb_->reset_observations();
   }

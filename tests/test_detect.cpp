@@ -7,14 +7,22 @@
 // and the C API knobs.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <mutex>
+#include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "apps/uts/uts_drivers.hpp"
 #include "detect/membership.hpp"
 #include "fault/fault.hpp"
 #include "fault/plan.hpp"
+#include "scioto/queue.hpp"
 #include "scioto/scioto_c.h"
+#include "scioto/task.hpp"
 #include "test_util.hpp"
 #include "trace/analysis.hpp"
 #include "trace/trace.hpp"
@@ -47,11 +55,18 @@ apps::UtsResult run_uts_detector(int nranks, const std::string& plan,
                                      pgas::BackendKind::Sim) {
   fault::start(nranks, fault::FaultPlan::parse(plan), seed);
   apps::UtsResult res;
+  std::mutex res_mu;
   testing::run(
       nranks, backend,
       [&](Runtime& rt) {
         apps::UtsRunConfig rc;
-        res = apps::uts_run_scioto_ft(rt, tree, rc);
+        apps::UtsResult mine = apps::uts_run_scioto_ft(rt, tree, rc);
+        // The result is already globally reduced (identical on every
+        // surviving rank), but killed ranks never get here — any rank 0
+        // included — so every survivor publishes, serialized by a mutex
+        // (run_spmd's join orders the final read).
+        std::lock_guard<std::mutex> g(res_mu);
+        res = mine;
       },
       seed);
   fault::stop();
@@ -192,6 +207,179 @@ TEST(DetectFalseSuspicion, StallResumeExactThreads8Seeds) {
     EXPECT_EQ(res.survivors, 4) << "seed " << seed;
     detect::Stats s = detect::stats();
     EXPECT_EQ(s.rejoins, s.confirms) << "seed " << seed;
+  }
+}
+
+// ---- lease fence at queue level: the freeze tag and the overflow stash ----
+//
+// Deterministic replay of the falsely-suspected-owner interleaving: a ward
+// confirms a live rank dead and adopts its queue; the owner then runs every
+// queue op a resuming rank would. The freeze must reject the owner's
+// lock-free push/pop outright (the tagged priv_tail can never match a CAS
+// expected value, so a push cannot land in -- or tear -- a slot the ward
+// copied), flush_overflow must bail while fenced instead of re-stashing the
+// same task forever, and fence_ack must thaw the queue and rejoin the
+// membership view in one critical section.
+
+TEST(DetectFence, AdoptionFreezesOwnerQueueUntilFenceAck) {
+  constexpr std::size_t kSlot = 32;
+  auto make_slot = [](std::byte* buf, std::uint64_t id) {
+    std::memset(buf, 0, kSlot);
+    std::memcpy(buf, &id, sizeof(id));
+  };
+  auto slot_id = [](const std::byte* buf) {
+    std::uint64_t id;
+    std::memcpy(&id, buf, sizeof(id));
+    return id;
+  };
+  for (auto backend : {pgas::BackendKind::Sim, pgas::BackendKind::Threads}) {
+    for (auto mode : {QueueMode::Split, QueueMode::NoSplit}) {
+      fault::start(2, fault::FaultPlan{}, 99);
+      detect::start(2);
+      testing::run(2, backend, [&](Runtime& rt) {
+        SplitQueue::Config qc;
+        qc.slot_bytes = kSlot;
+        qc.capacity = 64;
+        qc.chunk = 4;
+        qc.mode = mode;
+        SplitQueue q(rt, qc);
+        std::byte buf[kSlot];
+        if (rt.me() == 0) {
+          for (std::uint64_t i = 0; i < 6; ++i) {
+            make_slot(buf, i);
+            ASSERT_TRUE(q.push_local(buf, kAffinityHigh));
+          }
+        }
+        rt.barrier();
+        if (rt.me() == 1) {
+          ASSERT_TRUE(detect::confirm_dead(0, 1));
+          EXPECT_EQ(q.drain_dead(0), 6u);
+          // Every adopted task landed here exactly once.
+          std::set<std::uint64_t> ids;
+          while (q.pop_local(buf) || q.reacquire() > 0) {
+            if (slot_id(buf) < 6) ids.insert(slot_id(buf));
+          }
+          EXPECT_EQ(ids.size(), 6u);
+        }
+        rt.barrier();
+        if (rt.me() == 0) {
+          // Fenced: the queue reports empty, pops fail, and a push bounces
+          // to the overflow stash instead of writing the adopted ring.
+          EXPECT_EQ(q.size(), 0u);
+          EXPECT_FALSE(q.pop_local(buf));
+          make_slot(buf, 77);
+          EXPECT_TRUE(q.push_local(buf, kAffinityHigh));
+          EXPECT_TRUE(q.overflow_pending());
+          EXPECT_EQ(q.size(), 0u);
+          // Pre-fix this looped forever: the fenced push re-stashed the
+          // task it was flushing and reported success.
+          EXPECT_EQ(q.flush_overflow(), 0u);
+          EXPECT_TRUE(q.overflow_pending());
+          // fence_ack clears the lease, thaws priv_tail, and rejoins the
+          // membership view under one lock hold.
+          EXPECT_FALSE(detect::alive(0));
+          EXPECT_NE(q.fence_ack(), 0u);
+          EXPECT_TRUE(detect::alive(0));
+          EXPECT_EQ(q.flush_overflow(), 1u);
+          ASSERT_TRUE(q.pop_local(buf) ||
+                      (q.reacquire() > 0 && q.pop_local(buf)));
+          EXPECT_EQ(slot_id(buf), 77u);
+        }
+        rt.barrier();
+        q.destroy();
+      });
+      detect::stop();
+      fault::stop();
+    }
+  }
+}
+
+// Real-concurrency variant of the same property (threads backend, runs
+// under TSan in CI): the owner spams lock-free pushes with no
+// synchronization while the ward confirms it dead and adopts mid-stream --
+// the window the review of the freeze protocol cared about, an owner
+// deep in a task body whose CAS races the freeze itself. Whatever the
+// interleaving, every pushed task must surface exactly once: in the
+// ward's adopted queue, the owner's surviving queue, or the owner's
+// post-rejoin overflow flush.
+
+TEST(DetectFence, ConcurrentAdoptionVsOwnerPushThreads) {
+  constexpr std::size_t kSlot = 32;
+  constexpr std::uint64_t kTasks = 4000;
+  auto make_slot = [](std::byte* buf, std::uint64_t id) {
+    std::memset(buf, 0, kSlot);
+    std::memcpy(buf, &id, sizeof(id));
+  };
+  auto slot_id = [](const std::byte* buf) {
+    std::uint64_t id;
+    std::memcpy(&id, buf, sizeof(id));
+    return id;
+  };
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    fault::start(2, fault::FaultPlan{}, seed);
+    detect::start(2);
+    std::mutex mu;
+    std::vector<std::uint64_t> seen;  // ids surfaced across both ranks
+    testing::run(
+        2, pgas::BackendKind::Threads,
+        [&](Runtime& rt) {
+          SplitQueue::Config qc;
+          qc.slot_bytes = kSlot;
+          qc.capacity = 8192;
+          qc.chunk = 8;
+          SplitQueue q(rt, qc);
+          std::byte buf[kSlot];
+          auto drain_mine = [&] {
+            std::vector<std::uint64_t> ids;
+            for (;;) {
+              if (q.pop_local(buf)) {
+                ids.push_back(slot_id(buf));
+                continue;
+              }
+              if (q.reacquire() > 0) {
+                continue;
+              }
+              if (q.overflow_pending() && q.flush_overflow() > 0) {
+                continue;
+              }
+              break;
+            }
+            std::lock_guard<std::mutex> g(mu);
+            seen.insert(seen.end(), ids.begin(), ids.end());
+          };
+          if (rt.me() == 0) {
+            // Owner: unsynchronized push storm. Once the ward freezes the
+            // queue, push_local bounces to the overflow stash and still
+            // reports success -- no id is ever dropped on the floor.
+            for (std::uint64_t i = 0; i < kTasks; ++i) {
+              make_slot(buf, i);
+              ASSERT_TRUE(q.push_local(buf, kAffinityHigh));
+            }
+            rt.barrier();  // ward's adoption is over
+            q.fence_ack();
+            drain_mine();
+          } else {
+            // Ward: condemn the (live, mid-push) owner and adopt whatever
+            // the freeze catches of its queue.
+            std::this_thread::sleep_for(std::chrono::microseconds(
+                50 + 50 * seed));
+            ASSERT_TRUE(detect::confirm_dead(0, 1));
+            q.drain_dead(0);
+            rt.barrier();
+            drain_mine();
+          }
+          rt.barrier();
+          q.destroy();
+        },
+        seed);
+    detect::stop();
+    fault::stop();
+    std::sort(seen.begin(), seen.end());
+    ASSERT_EQ(seen.size(), kTasks) << "seed " << seed
+                                   << ": task lost or duplicated";
+    for (std::uint64_t i = 0; i < kTasks; ++i) {
+      ASSERT_EQ(seen[i], i) << "seed " << seed;
+    }
   }
 }
 
