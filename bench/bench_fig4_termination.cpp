@@ -16,6 +16,7 @@
 #include "base/stats.hpp"
 #include "base/table.hpp"
 #include "fault/fault.hpp"
+#include "metrics/metrics.hpp"
 #include "pgas/runtime.hpp"
 #include "scioto/task_collection.hpp"
 #include "trace/export.hpp"
@@ -26,15 +27,27 @@ using namespace scioto;
 namespace {
 
 struct Fig4Row {
-  int procs;
-  double term_us;
-  double armci_us;
-  double mpi_us;
+  int procs = 0;
+  double term_us = 0;
+  double armci_us = 0;
+  double mpi_us = 0;
+  // Root-observed wave-latency distribution from the live metrics plane
+  // (launch -> all votes in), one histogram per process count.
+  metrics::HistSnap wave;
+  std::uint64_t waves = 0;
+  bool hist_valid = false;
 };
 
-Fig4Row measure(int procs, int trials, const std::string& trace_file = "",
+Fig4Row measure(int procs, int trials, bool want_hists,
+                const std::string& trace_file = "",
                 const std::string& fault_spec = "") {
-  Fig4Row row{procs, 0, 0, 0};
+  Fig4Row row;
+  row.procs = procs;
+  // Bench-owned metrics session: run_spmd sees it active and leaves it
+  // alone, so rank 0's wave histogram survives past the SPMD region.
+  if (want_hists) {
+    metrics::start(procs);
+  }
   pgas::Config cfg;
   cfg.nranks = procs;
   cfg.backend = pgas::BackendKind::Sim;
@@ -96,6 +109,15 @@ Fig4Row measure(int procs, int trials, const std::string& trace_file = "",
       row.mpi_us = mpi.mean();
     }
   });
+  if (want_hists) {
+    metrics::Snapshot s0;
+    if (metrics::scrape(0, &s0)) {
+      row.wave = s0.hist(metrics::Hist::WaveNs);
+      row.waves = s0.ctr(metrics::Ctr::TdWaves);
+      row.hist_valid = true;
+    }
+    metrics::stop();
+  }
   if (faulting) {
     fault::Summary s = fault::summary();
     std::printf("faults at %d procs: %lld kills, %d survivors\n", procs,
@@ -125,9 +147,18 @@ int main(int argc, char** argv) {
                   "fault plan (spec/JSON/@file) injected into the max-procs "
                   "run; detection must still converge on the survivors");
   opts.add_string("json", "", "also write results as JSON to this file");
+  opts.add_string("metrics-json", "",
+                  "write per-procs wave-latency percentiles from the live "
+                  "metrics histograms to this file");
   if (!opts.parse(argc, argv)) return 0;
   const int trials = static_cast<int>(opts.get_int("trials"));
   const int maxp = static_cast<int>(opts.get_int("max-procs"));
+  const std::string metrics_json = opts.get_string("metrics-json");
+  const bool want_hists = !metrics_json.empty() && SCIOTO_METRICS_ENABLED;
+  if (!metrics_json.empty() && !want_hists) {
+    std::printf("metrics-json: compiled out (SCIOTO_METRICS=OFF); "
+                "skipping\n");
+  }
 
   Table t({"Procs", "Scioto-Termination(us)", "ARMCI-Barrier(us)",
            "MPI-Barrier(us)", "Term/Barrier", "Wave/Barrier"});
@@ -137,7 +168,7 @@ int main(int argc, char** argv) {
         p == maxp ? opts.get_string("trace") : std::string();
     const std::string fault_spec =
         p == maxp ? opts.get_string("fault-plan") : std::string();
-    Fig4Row r = measure(p, trials, trace_file, fault_spec);
+    Fig4Row r = measure(p, trials, want_hists, trace_file, fault_spec);
     rows.push_back(r);
     double ratio = r.mpi_us > 0 ? r.term_us / r.mpi_us : 0;
     // tc_process includes one mandatory phase-entry barrier; the second
@@ -171,6 +202,34 @@ int main(int argc, char** argv) {
     std::fprintf(f, "  ]\n}\n");
     std::fclose(f);
     std::printf("json: wrote %s\n", json.c_str());
+  }
+
+  if (want_hists) {
+    std::FILE* f = std::fopen(metrics_json.c_str(), "w");
+    SCIOTO_CHECK_MSG(f != nullptr, "cannot open " << metrics_json);
+    std::fprintf(f,
+                 "{\n  \"bench\": \"metrics_termination\", \"trials\": %d,\n"
+                 "  \"rows\": [\n",
+                 trials);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const Fig4Row& r = rows[i];
+      if (!r.hist_valid) continue;
+      std::fprintf(
+          f,
+          "    {\"procs\": %d, \"waves\": %llu, \"wave_ns\": "
+          "{\"count\": %llu, \"mean_ns\": %.1f, \"p50_ns\": %llu, "
+          "\"p95_ns\": %llu, \"p99_ns\": %llu, \"max_ns\": %llu}}%s\n",
+          r.procs, static_cast<unsigned long long>(r.waves),
+          static_cast<unsigned long long>(r.wave.count), r.wave.mean(),
+          static_cast<unsigned long long>(r.wave.percentile(50)),
+          static_cast<unsigned long long>(r.wave.percentile(95)),
+          static_cast<unsigned long long>(r.wave.percentile(99)),
+          static_cast<unsigned long long>(r.wave.max),
+          i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("metrics-json: wrote %s\n", metrics_json.c_str());
   }
   return 0;
 }

@@ -18,6 +18,8 @@
 #include "base/options.hpp"
 #include "base/table.hpp"
 #include "fault/fault.hpp"
+#include "metrics/metrics.hpp"
+#include "metrics/monitor.hpp"
 #include "trace/export.hpp"
 #include "trace/trace.hpp"
 
@@ -28,7 +30,7 @@ namespace {
 
 UtsResult run_one(int procs, const UtsParams& tree, const UtsRunConfig& rc,
                   bool mpi_ws, const std::string& trace_file = "",
-                  const std::string& fault_spec = "") {
+                  const std::string& fault_spec = "", bool live = false) {
   pgas::Config cfg;
   cfg.nranks = procs;
   cfg.backend = pgas::BackendKind::Sim;
@@ -44,12 +46,33 @@ UtsResult run_one(int procs, const UtsParams& tree, const UtsRunConfig& rc,
   if (faulting) {
     fault::start(procs, fault::FaultPlan::parse(fault_spec), cfg.seed);
   }
+  // --live: bench-owned metrics session + TTY dashboard over the fleet
+  // (run_spmd leaves an already-active session to its owner).
+  const bool dashboard = live && !mpi_ws && SCIOTO_METRICS_ENABLED;
+  if (dashboard) {
+    metrics::start(procs);
+    metrics::MonitorOptions mopts;
+    mopts.live = true;
+    metrics::monitor_start(procs, mopts);
+    if (faulting) {
+      metrics::monitor_set_liveness([](Rank r) {
+        return fault::alive(r) ? metrics::RankState::Alive
+                               : metrics::RankState::Dead;
+      });
+    }
+  }
   UtsResult res;
   pgas::run_spmd(cfg, [&](pgas::Runtime& rt) {
     res = mpi_ws     ? uts_run_mpi_ws(rt, tree, rc)
           : faulting ? uts_run_scioto_ft(rt, tree, rc)
                      : uts_run_scioto(rt, tree, rc);
   });
+  if (dashboard) {
+    const std::size_t samples = metrics::monitor_samples().size();
+    metrics::monitor_stop();
+    metrics::stop();
+    std::printf("live monitor: %zu samples at %d procs\n", samples, procs);
+  }
   if (faulting) {
     fault::Summary s = fault::summary();
     std::printf("faults at %d procs: %lld kills, %d survivors, "
@@ -82,7 +105,15 @@ int main(int argc, char** argv) {
                   "fault plan (spec/JSON/@file) injected into the "
                   "split-queue run at max-procs; the traversal must still "
                   "match the sequential node count exactly");
+  opts.add_flag("live", false,
+                "render the live fleet dashboard (queue depths, imbalance, "
+                "steal rates) during the split-queue run at max-procs");
   if (!opts.parse(argc, argv)) return 0;
+  const bool live = opts.get_flag("live");
+  if (live && !SCIOTO_METRICS_ENABLED) {
+    std::printf("--live: metrics compiled out (SCIOTO_METRICS=OFF); "
+                "skipping dashboard\n");
+  }
 
   UtsParams tree = uts_bench();
   tree.gen_mx = static_cast<int>(opts.get_int("scale"));
@@ -103,7 +134,7 @@ int main(int argc, char** argv) {
     const std::string fault_spec =
         p == maxp ? opts.get_string("fault-plan") : std::string();
     UtsResult split = run_one(p, tree, split_rc, /*mpi_ws=*/false, trace_file,
-                              fault_spec);
+                              fault_spec, live && p == maxp);
     SCIOTO_CHECK_MSG(split.counts == expected, "split traversal mismatch");
 
     UtsResult mpi = run_one(p, tree, rc, /*mpi_ws=*/true);

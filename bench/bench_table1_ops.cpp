@@ -16,6 +16,7 @@
 
 #include "base/options.hpp"
 #include "base/table.hpp"
+#include "metrics/metrics.hpp"
 #include "pgas/runtime.hpp"
 #include "scioto/queue.hpp"
 #include "scioto/task.hpp"
@@ -31,12 +32,27 @@ struct OpTimes {
   double remote_steal_us = 0;
 };
 
-OpTimes measure(const sim::MachineModel& machine, int iters) {
+/// Full op-latency distributions from the live metrics histograms (the
+/// mean-only Table 1 numbers hide the tail the telemetry plane exposes).
+struct OpHists {
+  metrics::HistSnap push;   // rank 0's local pushes
+  metrics::HistSnap pop;    // rank 0's local pops
+  metrics::HistSnap steal;  // rank 1's remote steals
+  bool valid = false;
+};
+
+OpTimes measure(const sim::MachineModel& machine, int iters,
+                OpHists* hists) {
   OpTimes out;
   pgas::Config cfg;
   cfg.nranks = 2;
   cfg.backend = pgas::BackendKind::Sim;
   cfg.machine = machine;
+  // Bench-owned metrics session: run_spmd sees an already-active session
+  // and leaves it alone, so we can scrape the histograms after the run.
+  if (hists != nullptr) {
+    metrics::start(cfg.nranks);
+  }
 
   pgas::run_spmd(cfg, [&](pgas::Runtime& rt) {
     SplitQueue::Config qc;
@@ -105,6 +121,16 @@ OpTimes measure(const sim::MachineModel& machine, int iters) {
     rt.barrier();
     q.destroy();
   });
+  if (hists != nullptr) {
+    metrics::Snapshot s0, s1;
+    if (metrics::scrape(0, &s0) && metrics::scrape(1, &s1)) {
+      hists->push = s0.hist(metrics::Hist::PushNs);
+      hists->pop = s0.hist(metrics::Hist::PopNs);
+      hists->steal = s1.hist(metrics::Hist::StealNs);
+      hists->valid = true;
+    }
+    metrics::stop();
+  }
   return out;
 }
 
@@ -115,11 +141,23 @@ int main(int argc, char** argv) {
                "Table 1: core task collection operation costs");
   opts.add_int("iters", 500, "operations per measurement");
   opts.add_string("json", "", "also write results as JSON to this file");
+  opts.add_string("metrics-json", "",
+                  "write op-latency percentiles from the live metrics "
+                  "histograms to this file");
   if (!opts.parse(argc, argv)) return 0;
   int iters = static_cast<int>(opts.get_int("iters"));
+  const std::string metrics_json = opts.get_string("metrics-json");
+  const bool want_hists = !metrics_json.empty() && SCIOTO_METRICS_ENABLED;
+  if (!metrics_json.empty() && !want_hists) {
+    std::printf("metrics-json: compiled out (SCIOTO_METRICS=OFF); "
+                "skipping\n");
+  }
 
-  OpTimes cluster = measure(sim::cluster2008_uniform(), iters);
-  OpTimes xt4 = measure(sim::cray_xt4(), iters);
+  OpHists cluster_h, xt4_h;
+  OpTimes cluster = measure(sim::cluster2008_uniform(), iters,
+                            want_hists ? &cluster_h : nullptr);
+  OpTimes xt4 =
+      measure(sim::cray_xt4(), iters, want_hists ? &xt4_h : nullptr);
 
   Table t({"Task Collection Operation", "Cluster(us)", "Paper-Cluster",
            "XT4(us)", "Paper-XT4"});
@@ -153,6 +191,38 @@ int main(int argc, char** argv) {
     std::fprintf(f, "}\n");
     std::fclose(f);
     std::printf("json: wrote %s\n", json.c_str());
+  }
+
+  if (want_hists && cluster_h.valid && xt4_h.valid) {
+    std::FILE* f = std::fopen(metrics_json.c_str(), "w");
+    SCIOTO_CHECK_MSG(f != nullptr, "cannot open " << metrics_json);
+    auto hist = [&](const char* name, const metrics::HistSnap& h,
+                    const char* sep) {
+      std::fprintf(
+          f,
+          "    \"%s\": {\"count\": %llu, \"mean_ns\": %.1f, "
+          "\"p50_ns\": %llu, \"p95_ns\": %llu, \"p99_ns\": %llu, "
+          "\"max_ns\": %llu}%s\n",
+          name, static_cast<unsigned long long>(h.count), h.mean(),
+          static_cast<unsigned long long>(h.percentile(50)),
+          static_cast<unsigned long long>(h.percentile(95)),
+          static_cast<unsigned long long>(h.percentile(99)),
+          static_cast<unsigned long long>(h.max), sep);
+    };
+    auto model = [&](const char* name, const OpHists& o, const char* sep) {
+      std::fprintf(f, "  \"%s\": {\n", name);
+      hist("push_ns", o.push, ",");
+      hist("pop_ns", o.pop, ",");
+      hist("steal_ns", o.steal, "");
+      std::fprintf(f, "  }%s\n", sep);
+    };
+    std::fprintf(f, "{\n  \"bench\": \"metrics_ops\", \"iters\": %d,\n",
+                 iters);
+    model("cluster", cluster_h, ",");
+    model("cray_xt4", xt4_h, "");
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("metrics-json: wrote %s\n", metrics_json.c_str());
   }
   return 0;
 }

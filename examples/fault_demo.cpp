@@ -10,6 +10,7 @@
 //
 // Fail-stop kills need the deterministic sim backend: with the same plan
 // and seed the whole run, trace included, replays bit-for-bit.
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -18,6 +19,8 @@
 #include "base/options.hpp"
 #include "detect/membership.hpp"
 #include "fault/fault.hpp"
+#include "metrics/metrics.hpp"
+#include "metrics/monitor.hpp"
 #include "trace/analysis.hpp"
 #include "trace/export.hpp"
 #include "trace/trace.hpp"
@@ -36,12 +39,21 @@ int main(int argc, char** argv) {
   opts.add_flag("detector", false,
                 "detect deaths with the heartbeat detector instead of the "
                 "alive-oracle (lease-fenced adoption)");
+  opts.add_flag("live", false,
+                "render the live fleet dashboard during the run (with "
+                "--detector, killed ranks walk alive -> suspect -> dead)");
   if (!opts.parse(argc, argv)) return 0;
 
-  if (opts.get_flag("detector")) {
+  const bool detector = opts.get_flag("detector");
+  if (detector) {
     detect::Config dc = detect::config();
     dc.enabled = true;
     detect::set_config(dc);
+  }
+  const bool live = opts.get_flag("live") && SCIOTO_METRICS_ENABLED;
+  if (opts.get_flag("live") && !live) {
+    std::printf("--live: metrics compiled out (SCIOTO_METRICS=OFF); "
+                "skipping dashboard\n");
   }
 
   const int nranks = static_cast<int>(opts.get_int("ranks"));
@@ -65,6 +77,28 @@ int main(int argc, char** argv) {
   trace::start(nranks);
   fault::start(nranks, plan, cfg.seed);
 
+  // --live: demo-owned metrics session + TTY dashboard. With --detector
+  // the rank states come from the heartbeat detector's membership view
+  // (alive -> suspect -> confirmed dead); otherwise from the fault oracle.
+  if (live) {
+    metrics::start(nranks);
+    metrics::MonitorOptions mopts;
+    mopts.live = true;
+    metrics::monitor_start(nranks, mopts);
+    if (detector) {
+      metrics::monitor_set_liveness([](Rank r) {
+        if (!detect::alive(r)) return metrics::RankState::Dead;
+        if (detect::suspected(r)) return metrics::RankState::Suspect;
+        return metrics::RankState::Alive;
+      });
+    } else {
+      metrics::monitor_set_liveness([](Rank r) {
+        return fault::alive(r) ? metrics::RankState::Alive
+                               : metrics::RankState::Dead;
+      });
+    }
+  }
+
   UtsResult res;
   bool got_result = false;
   pgas::run_spmd(cfg, [&](pgas::Runtime& rt) {
@@ -74,6 +108,20 @@ int main(int argc, char** argv) {
     res = uts_run_scioto_ft(rt, tree, rc);
     got_result = true;
   });
+
+  if (live) {
+    // Count suspect/dead state transitions the monitor observed before
+    // tearing the session down.
+    int peak_suspects = 0, peak_dead = 0;
+    for (const metrics::FleetSample& s : metrics::monitor_samples()) {
+      peak_suspects = std::max(peak_suspects, s.suspects);
+      peak_dead = std::max(peak_dead, s.dead);
+    }
+    std::printf("live monitor: %zu samples; peak %d suspect, %d dead\n",
+                metrics::monitor_samples().size(), peak_suspects, peak_dead);
+    metrics::monitor_stop();
+    metrics::stop();
+  }
 
   fault::Summary inj = fault::summary();
   std::printf("\ninjected: %lld kills, %lld drops, %lld stalls, "

@@ -55,7 +55,12 @@ int main(int argc, char** argv) {
   opts.add_int("ranks", 4, "number of SPMD ranks");
   opts.add_int("blocks", 4, "blocks per dimension");
   opts.add_int("block-size", 8, "rows/cols per block");
+  opts.add_flag("metrics", false,
+                "arm the live-metrics plane and print a summary");
   if (!opts.parse(argc, argv)) return 0;
+  if (opts.get_flag("metrics")) {
+    scioto_metrics_set(1);  // staged knob; armed inside run_spmd
+  }
 
   scioto::pgas::Config cfg;
   cfg.nranks = static_cast<int>(opts.get_int("ranks"));
@@ -121,6 +126,26 @@ int main(int argc, char** argv) {
       std::printf("C API matmul %lldx%lld: max_err=%.2e -> %s\n",
                   static_cast<long long>(n), static_cast<long long>(n), err,
                   err < 1e-12 ? "OK" : "FAILED");
+      if (scioto_metrics_enabled()) {
+        // One-sided live-metrics reads through the C API: scrape every
+        // rank's patch (no cooperation needed) and total the counters.
+        uint64_t executed = 0, steals = 0, p99 = 0;
+        for (int r = 0; r < rt.nprocs(); ++r) {
+          scioto_metrics_snapshot_t* s = scioto_metrics_snapshot(r);
+          if (s == nullptr) continue;
+          uint64_t v = 0;
+          if (scioto_metrics_read(s, "tasks_executed", &v) == 0) executed += v;
+          if (scioto_metrics_read(s, "steals", &v) == 0) steals += v;
+          if (scioto_metrics_read(s, "task_exec_ns_p99", &v) == 0 && v > p99)
+            p99 = v;
+          scioto_metrics_snapshot_free(s);
+        }
+        std::printf("metrics: tasks_executed=%llu steals=%llu "
+                    "task_exec_ns_p99<=%llu\n",
+                    static_cast<unsigned long long>(executed),
+                    static_cast<unsigned long long>(steals),
+                    static_cast<unsigned long long>(p99));
+      }
     }
     C.destroy();
     B.destroy();

@@ -105,6 +105,9 @@ int main(int argc, char** argv) {
   trace::breakdown_table(bd).print(
       "per-rank time breakdown (from trace events)");
 
+  trace::duration_table(trace::duration_percentiles(evs))
+      .print("latency percentiles (log2 buckets; shared with live metrics)");
+
   auto occ = trace::occupancy_timeline(evs, n);
   std::int64_t peak = 0;
   for (const auto& series : occ) {

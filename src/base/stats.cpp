@@ -36,4 +36,37 @@ std::string Accumulator::summary(const std::string& unit) const {
   return oss.str();
 }
 
+namespace stats {
+
+std::uint64_t percentile_rank(double p, std::uint64_t n) {
+  if (n == 0) return 0;
+  if (p <= 0.0) return 1;
+  if (p >= 100.0) return n;
+  auto k = static_cast<std::uint64_t>(std::ceil(p * double(n) / 100.0));
+  if (k < 1) k = 1;
+  if (k > n) k = n;
+  return k;
+}
+
+std::uint64_t hist_count(const std::uint64_t* counts, int nbuckets) {
+  std::uint64_t n = 0;
+  for (int b = 0; b < nbuckets; ++b) n += counts[b];
+  return n;
+}
+
+std::uint64_t hist_percentile(const std::uint64_t* counts, int nbuckets,
+                              double p) {
+  std::uint64_t n = hist_count(counts, nbuckets);
+  std::uint64_t k = percentile_rank(p, n);
+  if (k == 0) return 0;
+  std::uint64_t cum = 0;
+  for (int b = 0; b < nbuckets; ++b) {
+    cum += counts[b];
+    if (cum >= k) return log2_bucket_ceil(b);
+  }
+  return log2_bucket_ceil(nbuckets - 1);
+}
+
+}  // namespace stats
+
 }  // namespace scioto

@@ -1,7 +1,9 @@
 // Streaming statistics accumulators used by the runtime's per-rank counters
-// and by benchmark harnesses.
+// and by benchmark harnesses, plus the log2-bucket histogram helpers shared
+// by the metrics registry and the trace analyses.
 #pragma once
 
+#include <bit>
 #include <cmath>
 #include <cstdint>
 #include <limits>
@@ -34,5 +36,48 @@ class Accumulator {
   double min_ = std::numeric_limits<double>::infinity();
   double max_ = -std::numeric_limits<double>::infinity();
 };
+
+namespace stats {
+
+// ---- Log2-bucket histograms ----
+//
+// Bucket b holds the values whose bit width is b: bucket 0 is exactly {0},
+// bucket b >= 1 covers [2^(b-1), 2^b - 1]. 48 buckets cover durations up to
+// ~78 hours in nanoseconds, which is beyond anything either backend can
+// produce. Percentiles use the nearest-rank definition and report the
+// ceiling of the selected bucket, so a reported p99 is an upper bound on
+// the true p99 (tight to within 2x, the bucket resolution).
+
+inline constexpr int kLog2Buckets = 48;
+
+/// Bucket index for a value, clamped to [0, nbuckets).
+inline int log2_bucket(std::uint64_t v, int nbuckets = kLog2Buckets) {
+  int b = std::bit_width(v);
+  return b < nbuckets ? b : nbuckets - 1;
+}
+
+/// Smallest value bucket `b` can hold (0 for bucket 0).
+inline std::uint64_t log2_bucket_floor(int b) {
+  return b <= 0 ? 0 : std::uint64_t{1} << (b - 1);
+}
+
+/// Largest value bucket `b` can hold assuming it was not clamped.
+inline std::uint64_t log2_bucket_ceil(int b) {
+  return b <= 0 ? 0 : (std::uint64_t{1} << b) - 1;
+}
+
+/// Nearest-rank index (1-based) of percentile p in a population of n:
+/// the smallest k such that k/n >= p/100. p is clamped to [0, 100].
+std::uint64_t percentile_rank(double p, std::uint64_t n);
+
+/// Total population of a bucket-count array.
+std::uint64_t hist_count(const std::uint64_t* counts, int nbuckets);
+
+/// Percentile over a log2-bucket histogram: the ceiling of the bucket that
+/// contains the nearest-rank sample. Returns 0 for an empty histogram.
+std::uint64_t hist_percentile(const std::uint64_t* counts, int nbuckets,
+                              double p);
+
+}  // namespace stats
 
 }  // namespace scioto

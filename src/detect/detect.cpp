@@ -1,8 +1,10 @@
 #include "detect/detect.hpp"
 
+#include <algorithm>
 #include <atomic>
 
 #include "base/error.hpp"
+#include "metrics/metrics.hpp"
 #include "trace/trace.hpp"
 
 namespace scioto::detect {
@@ -90,6 +92,7 @@ void HeartbeatProbe::publish(TimeNs now) {
   last_pub_ = now;
   ++hb_count_;
   ++n_heartbeats_;
+  SCIOTO_METRIC_CTR(me_, metrics::Ctr::Heartbeats, 1);
   auto* w = reinterpret_cast<std::uint64_t*>(rt_.seg_ptr(seg_, me_));
   std::atomic_ref<std::uint64_t>(w[kHbWord + 1])
       .store(epoch_seen_, std::memory_order_relaxed);
@@ -108,6 +111,7 @@ void HeartbeatProbe::recompute_neighbors() {
     if (alive(c)) neighbors_.push_back(c);
   }
   next_neighbor_ = 0;
+  publish_view_gauges();  // membership view changed (epoch bump)
 }
 
 void HeartbeatProbe::probe_one(TimeNs now) {
@@ -115,8 +119,16 @@ void HeartbeatProbe::probe_one(TimeNs now) {
   Rank peer = neighbors_[next_neighbor_ % neighbors_.size()];
   ++next_neighbor_;
   ++n_probes_;
+  SCIOTO_METRIC_CTR(me_, metrics::Ctr::Probes, 1);
   std::uint64_t hb = 0, ep = 0;
   pgas::OpStatus st = rt_.probe_pair_checked(seg_, peer, 0, &hb, &ep);
+  if (SCIOTO_METRICS_ON()) {
+    // The probe's charged round trip: wire + remote-read cost under sim,
+    // actual elapsed time under threads.
+    metrics::hist_record(me_, metrics::Hist::ProbeRttNs,
+                         static_cast<std::uint64_t>(
+                             std::max<TimeNs>(rt_.now() - now, 0)));
+  }
   if (st == pgas::OpStatus::Dropped) {
     return;  // a dropped probe is just a missed heartbeat
   }
@@ -127,6 +139,9 @@ void HeartbeatProbe::probe_one(TimeNs now) {
     if (p.suspected) {
       p.suspected = false;
       ++n_refutes_;
+      note_suspect(peer, false);
+      SCIOTO_METRIC_CTR(me_, metrics::Ctr::Refutes, 1);
+      publish_view_gauges();
       SCIOTO_TRACE_EVENT(me_, trace::Ev::Refute, peer, 0, 0);
     }
     return;
@@ -135,16 +150,33 @@ void HeartbeatProbe::probe_one(TimeNs now) {
   if (!p.suspected && silence > cfg_.suspect_after) {
     p.suspected = true;
     ++n_suspects_;
+    note_suspect(peer, true);
+    SCIOTO_METRIC_CTR(me_, metrics::Ctr::Suspects, 1);
+    publish_view_gauges();
     SCIOTO_TRACE_EVENT(me_, trace::Ev::Suspect, peer, 0, silence);
   }
   if (p.suspected && silence > cfg_.confirm_after) {
     if (confirm_dead(peer, me_)) {
       note_detect_latency(silence);
+      SCIOTO_METRIC_CTR(me_, metrics::Ctr::Confirms, 1);
       SCIOTO_TRACE_EVENT(me_, trace::Ev::ConfirmDead, peer, 0, silence);
     }
+    // The suspicion resolved into a death; either way the dashboard
+    // should now show the peer dead, not suspect.
+    note_suspect(peer, false);
+    publish_view_gauges();
     // The epoch bump (ours or a concurrent winner's) retires this peer
     // from the neighbor set on the next poll.
   }
+}
+
+void HeartbeatProbe::publish_view_gauges() {
+  if (!SCIOTO_METRICS_ON()) return;
+  metrics::gauge_set(me_, metrics::Gauge::AliveView,
+                     static_cast<std::uint64_t>(alive_count()));
+  std::uint64_t suspects = 0;
+  for (const Peer& p : peers_) suspects += p.suspected ? 1 : 0;
+  metrics::gauge_set(me_, metrics::Gauge::SuspectsView, suspects);
 }
 
 }  // namespace scioto::detect

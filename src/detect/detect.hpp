@@ -67,6 +67,7 @@ class HeartbeatProbe {
   void publish(TimeNs now);
   void probe_one(TimeNs now);
   void recompute_neighbors();
+  void publish_view_gauges();
 
   pgas::Runtime& rt_;
   Config cfg_;

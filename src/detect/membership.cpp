@@ -18,6 +18,7 @@ enum class Liveness : std::uint8_t { Alive = 0, Dead = 1 };
 struct View {
   int nranks = 0;
   std::vector<std::unique_ptr<std::atomic<std::uint8_t>>> state;
+  std::vector<std::unique_ptr<std::atomic<int>>> suspect_count;
   std::atomic<std::uint64_t> epoch{0};
   Stats stats;
   std::mutex mu;  // guards stats and rejoin/confirm transitions
@@ -52,9 +53,11 @@ void start(int nranks) {
   SCIOTO_REQUIRE(nranks > 0, "detect: nranks must be positive");
   g_view.nranks = nranks;
   g_view.state.clear();
+  g_view.suspect_count.clear();
   for (int r = 0; r < nranks; ++r) {
     g_view.state.push_back(std::make_unique<std::atomic<std::uint8_t>>(
         static_cast<std::uint8_t>(Liveness::Alive)));
+    g_view.suspect_count.push_back(std::make_unique<std::atomic<int>>(0));
   }
   // Seed from the fault epoch so a mixed run (oracle kills + detector
   // confirms) still presents one monotone counter to resplice logic.
@@ -67,6 +70,7 @@ void start(int nranks) {
 void stop() {
   g_active.store(false, std::memory_order_release);
   g_view.state.clear();
+  g_view.suspect_count.clear();
   g_view.nranks = 0;
 }
 
@@ -144,6 +148,28 @@ void note_fence_abort() {
   if (!active()) return;
   std::lock_guard<std::mutex> g(g_view.mu);
   ++g_view.stats.fence_aborts;
+}
+
+void note_suspect(Rank r, bool suspected) {
+  if (!active() || r < 0 || r >= g_view.nranks) return;
+  std::atomic<int>& n = *g_view.suspect_count[static_cast<std::size_t>(r)];
+  if (suspected) {
+    n.fetch_add(1, std::memory_order_acq_rel);
+  } else {
+    // A refute can race a concurrent confirm clearing the same suspicion;
+    // clamp at zero rather than going negative.
+    int cur = n.load(std::memory_order_acquire);
+    while (cur > 0 &&
+           !n.compare_exchange_weak(cur, cur - 1,
+                                    std::memory_order_acq_rel)) {
+    }
+  }
+}
+
+bool suspected(Rank r) {
+  if (!active() || r < 0 || r >= g_view.nranks) return false;
+  return g_view.suspect_count[static_cast<std::size_t>(r)]->load(
+             std::memory_order_acquire) > 0;
 }
 
 Stats stats() {

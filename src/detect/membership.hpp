@@ -104,6 +104,14 @@ std::uint64_t rejoin(Rank r);
 void note_detect_latency(TimeNs latency);
 void note_fence_abort();
 
+/// Prober-side suspicion tally: a prober calls note_suspect(r, true) on an
+/// alive -> suspect transition and (r, false) when the suspicion resolves
+/// (refute or confirmation). suspected(r) is true while any prober holds a
+/// live suspicion -- the signal the telemetry monitor's dashboard and
+/// detector-state rollup render. No-op / false when disarmed.
+void note_suspect(Rank r, bool suspected);
+bool suspected(Rank r);
+
 Stats stats();
 void add_heartbeats(std::uint64_t n);
 void add_probes(std::uint64_t n);

@@ -1,0 +1,291 @@
+#include "metrics/monitor.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cinttypes>
+#include <cmath>
+#include <condition_variable>
+#include <cstdio>
+#include <mutex>
+#include <thread>
+
+#include "base/error.hpp"
+#include "base/log.hpp"
+#include "metrics/metrics.hpp"
+
+namespace scioto::metrics {
+
+double cov_index(const std::vector<std::uint64_t>& xs) {
+  if (xs.empty()) return 0.0;
+  double n = double(xs.size());
+  double sum = 0.0;
+  for (std::uint64_t x : xs) sum += double(x);
+  double mean = sum / n;
+  if (mean <= 0.0) return 0.0;
+  double m2 = 0.0;
+  for (std::uint64_t x : xs) {
+    double d = double(x) - mean;
+    m2 += d * d;
+  }
+  return std::sqrt(m2 / n) / mean;
+}
+
+double gini_index(const std::vector<std::uint64_t>& xs) {
+  if (xs.size() < 2) return 0.0;
+  double sum = 0.0;
+  for (std::uint64_t x : xs) sum += double(x);
+  if (sum <= 0.0) return 0.0;
+  // Mean absolute difference / (2 * mean); O(n log n) via the sorted form.
+  std::vector<std::uint64_t> s = xs;
+  std::sort(s.begin(), s.end());
+  double n = double(s.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    acc += (2.0 * double(i + 1) - n - 1.0) * double(s[i]);
+  }
+  return acc / (n * sum);
+}
+
+namespace {
+
+struct MonState {
+  MonitorOptions opts;
+  int nranks = 0;
+  std::FILE* out = nullptr;
+  std::function<RankState(Rank)> liveness;
+  std::vector<FleetSample> samples;
+  std::mutex mu;  // guards sample emission + the series + the sink
+  TimeNs next_due = 0;
+  bool poll_driven = true;
+  int live_lines = 0;
+  bool tty = false;
+  // Wall-clock sampler (threads backend).
+  std::thread thr;
+  std::mutex thr_mu;
+  std::condition_variable thr_cv;
+  bool thr_stop = false;
+  std::chrono::steady_clock::time_point wall_start;
+};
+
+std::atomic<bool> g_mon_active{false};
+
+MonState& mon() {
+  static MonState m;
+  return m;
+}
+
+void render_live(MonState& m, const FleetSample& s) {
+  // Overwrite the previous block on a real terminal; append otherwise
+  // (piped output then shows the full state history, which is what the
+  // CI checks and the acceptance demo grep for).
+  if (m.tty && m.live_lines > 0) {
+    std::printf("\x1b[%dA", m.live_lines);
+  }
+  int lines = 0;
+  std::printf("\x1b[K[monitor] t=%10.3fms alive=%d/%d suspect=%d dead=%d "
+              "inflight=%" PRIu64 " cov=%.2f gini=%.2f steal%%=%.1f "
+              "exec=%" PRIu64 "\n",
+              double(s.t) / 1e6, s.alive, int(s.ranks.size()), s.suspects,
+              s.dead, s.depth_sum, s.cov, s.gini, 100.0 * s.steal_success,
+              s.executed);
+  ++lines;
+  std::uint64_t maxd = 1;
+  for (const RankSample& r : s.ranks) maxd = std::max(maxd, r.depth);
+  for (const RankSample& r : s.ranks) {
+    const char* st = r.state == RankState::Alive     ? "alive  "
+                     : r.state == RankState::Suspect ? "SUSPECT"
+                                                     : "DEAD   ";
+    char bar[25];
+    int fill = static_cast<int>((r.depth * 24) / maxd);
+    for (int i = 0; i < 24; ++i) bar[i] = i < fill ? '#' : ' ';
+    bar[24] = '\0';
+    std::printf("\x1b[K  r%-3d %s [%s] depth=%5" PRIu64 " (sh %4" PRIu64
+                ") exec=%8" PRIu64 " steals=%6" PRIu64 "\n",
+                r.r, st, bar, r.depth, r.shared, r.executed, r.steals);
+    ++lines;
+  }
+  std::fflush(stdout);
+  m.live_lines = lines;
+}
+
+void append_jsonl(MonState& m, const FleetSample& s) {
+  if (m.out == nullptr) return;
+  std::fprintf(m.out,
+               "{\"t\":%" PRId64 ",\"nranks\":%d,\"alive\":%d,"
+               "\"suspect\":%d,\"dead\":%d,\"depth_sum\":%" PRIu64
+               ",\"executed\":%" PRIu64 ",\"steal_attempts\":%" PRIu64
+               ",\"steals\":%" PRIu64 ",\"tasks_stolen\":%" PRIu64
+               ",\"steal_success\":%.6f,\"cov\":%.6f,\"gini\":%.6f,"
+               "\"ranks\":[",
+               s.t, int(s.ranks.size()), s.alive, s.suspects, s.dead,
+               s.depth_sum, s.executed, s.steal_attempts, s.steals,
+               s.tasks_stolen, s.steal_success, s.cov, s.gini);
+  for (std::size_t i = 0; i < s.ranks.size(); ++i) {
+    const RankSample& r = s.ranks[i];
+    std::fprintf(m.out,
+                 "%s{\"r\":%d,\"state\":%d,\"depth\":%" PRIu64
+                 ",\"shared\":%" PRIu64 ",\"executed\":%" PRIu64
+                 ",\"steals\":%" PRIu64 ",\"stolen\":%" PRIu64 "}",
+                 i ? "," : "", r.r, static_cast<int>(r.state), r.depth,
+                 r.shared, r.executed, r.steals, r.stolen);
+  }
+  std::fprintf(m.out, "]}\n");
+  std::fflush(m.out);
+}
+
+int sample_locked(MonState& m, TimeNs now) {
+  FleetSample s;
+  s.t = now;
+  s.ranks.reserve(static_cast<std::size_t>(m.nranks));
+  std::vector<std::uint64_t> alive_depths;
+  int scraped = 0;
+  for (Rank r = 0; r < m.nranks; ++r) {
+    Snapshot snap;
+    if (!scrape(r, &snap)) continue;
+    ++scraped;
+    RankSample rs;
+    rs.r = r;
+    rs.state = m.liveness ? m.liveness(r) : RankState::Alive;
+    rs.depth = snap.gauge(Gauge::QueueDepth);
+    rs.shared = snap.gauge(Gauge::QueueShared);
+    rs.executed = snap.ctr(Ctr::TasksExecuted);
+    rs.steals = snap.ctr(Ctr::Steals);
+    rs.stolen = snap.ctr(Ctr::TasksStolen);
+    s.executed += rs.executed;
+    s.steal_attempts += snap.ctr(Ctr::StealAttempts);
+    s.steals += rs.steals;
+    s.tasks_stolen += rs.stolen;
+    switch (rs.state) {
+      case RankState::Alive:
+        ++s.alive;
+        s.depth_sum += rs.depth;
+        alive_depths.push_back(rs.depth);
+        break;
+      case RankState::Suspect:
+        ++s.suspects;
+        s.depth_sum += rs.depth;
+        alive_depths.push_back(rs.depth);
+        break;
+      case RankState::Dead:
+        ++s.dead;
+        break;
+    }
+    s.ranks.push_back(rs);
+  }
+  s.cov = cov_index(alive_depths);
+  s.gini = gini_index(alive_depths);
+  s.steal_success =
+      s.steal_attempts ? double(s.steals) / double(s.steal_attempts) : 0.0;
+  append_jsonl(m, s);
+  if (m.opts.live) render_live(m, s);
+  m.samples.push_back(std::move(s));
+  return scraped;
+}
+
+}  // namespace
+
+bool monitor_active() {
+  return g_mon_active.load(std::memory_order_relaxed);
+}
+
+void monitor_start(int nranks, const MonitorOptions& opts) {
+  SCIOTO_REQUIRE(!monitor_active(), "monitor already active");
+  SCIOTO_REQUIRE(metrics::active(),
+                 "monitor_start needs an active metrics session");
+  MonState& m = mon();
+  m.opts = opts;
+  if (m.opts.period <= 0) m.opts.period = 100'000;
+  m.nranks = nranks;
+  m.samples.clear();
+  m.next_due = 0;
+  m.poll_driven = !opts.wall_thread;
+  m.live_lines = 0;
+  m.tty = isatty(STDOUT_FILENO) != 0;
+  m.out = nullptr;
+  if (!opts.out_path.empty()) {
+    m.out = std::fopen(opts.out_path.c_str(), "w");
+    if (m.out == nullptr) {
+      // Same convention as an unwritable trace sink: warn and keep the
+      // run (and the in-memory series) going.
+      SCIOTO_WARN("cannot open SCIOTO_METRICS_OUT file " << opts.out_path);
+    }
+  }
+  m.thr_stop = false;
+  m.wall_start = std::chrono::steady_clock::now();
+  g_mon_active.store(true, std::memory_order_release);
+  if (opts.wall_thread) {
+    m.thr = std::thread([&m] {
+      std::unique_lock<std::mutex> lk(m.thr_mu);
+      for (;;) {
+        m.thr_cv.wait_for(lk, std::chrono::nanoseconds(m.opts.period),
+                          [&m] { return m.thr_stop; });
+        if (m.thr_stop) return;
+        auto now = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                       std::chrono::steady_clock::now() - m.wall_start)
+                       .count();
+        monitor_sample(now);
+      }
+    });
+  }
+}
+
+void monitor_stop() {
+  if (!monitor_active()) return;
+  MonState& m = mon();
+  if (m.thr.joinable()) {
+    {
+      std::lock_guard<std::mutex> lk(m.thr_mu);
+      m.thr_stop = true;
+    }
+    m.thr_cv.notify_all();
+    m.thr.join();
+  }
+  g_mon_active.store(false, std::memory_order_release);
+  std::lock_guard<std::mutex> lk(m.mu);
+  if (m.out != nullptr) {
+    std::fclose(m.out);
+    m.out = nullptr;
+  }
+  m.liveness = nullptr;
+}
+
+void monitor_set_liveness(std::function<RankState(Rank)> fn) {
+  std::lock_guard<std::mutex> lk(mon().mu);
+  mon().liveness = std::move(fn);
+}
+
+void monitor_poll(Rank me, TimeNs now) {
+  if (!monitor_active()) return;
+  MonState& m = mon();
+  if (!m.poll_driven) return;
+  // The lowest not-confirmed-dead rank is the designated sampler; the
+  // designation migrates deterministically when the sampler dies.
+  Rank sampler = 0;
+  {
+    std::lock_guard<std::mutex> lk(m.mu);
+    for (; sampler < m.nranks; ++sampler) {
+      if (!m.liveness || m.liveness(sampler) != RankState::Dead) break;
+    }
+  }
+  if (me != sampler) return;
+  std::lock_guard<std::mutex> lk(m.mu);
+  if (now < m.next_due) return;
+  sample_locked(m, now);
+  m.next_due = now + m.opts.period;
+}
+
+int monitor_sample(TimeNs now) {
+  if (!monitor_active()) return 0;
+  MonState& m = mon();
+  std::lock_guard<std::mutex> lk(m.mu);
+  return sample_locked(m, now);
+}
+
+const std::vector<FleetSample>& monitor_samples() {
+  return mon().samples;
+}
+
+}  // namespace scioto::metrics

@@ -1,11 +1,14 @@
 #include "pgas/runtime.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
 #include "base/log.hpp"
 #include "detect/membership.hpp"
+#include "metrics/metrics.hpp"
+#include "metrics/monitor.hpp"
 #include "pgas/sim_backend.hpp"
 #include "pgas/thread_backend.hpp"
 #include "trace/export.hpp"
@@ -76,6 +79,8 @@ void Runtime::get(SegId id, Rank target, std::size_t offset, void* dst,
   if (target != me()) {
     backend_.rma_charge(target, n);
     SCIOTO_TRACE_EVENT(me(), trace::Ev::PgasGet, target, 0, n);
+    SCIOTO_METRIC_CTR(me(), metrics::Ctr::PgasGets, 1);
+    SCIOTO_METRIC_CTR(me(), metrics::Ctr::PgasGetBytes, n);
   }
   std::memcpy(dst, seg_ptr(id, target) + offset, n);
 }
@@ -86,6 +91,8 @@ void Runtime::put(SegId id, Rank target, std::size_t offset, const void* src,
   if (target != me()) {
     backend_.rma_charge(target, n);
     SCIOTO_TRACE_EVENT(me(), trace::Ev::PgasPut, target, 0, n);
+    SCIOTO_METRIC_CTR(me(), metrics::Ctr::PgasPuts, 1);
+    SCIOTO_METRIC_CTR(me(), metrics::Ctr::PgasPutBytes, n);
   }
   std::memcpy(seg_ptr(id, target) + offset, src, n);
 }
@@ -103,6 +110,8 @@ void Runtime::get_strided(SegId id, Rank target, std::size_t offset,
   if (target != me()) {
     SCIOTO_TRACE_EVENT(me(), trace::Ev::PgasGet, target, 0,
                        nrows * row_bytes);
+    SCIOTO_METRIC_CTR(me(), metrics::Ctr::PgasGets, 1);
+    SCIOTO_METRIC_CTR(me(), metrics::Ctr::PgasGetBytes, nrows * row_bytes);
   }
   const std::byte* base = seg_ptr(id, target) + offset;
   auto* out = static_cast<std::byte*>(dst);
@@ -124,6 +133,8 @@ void Runtime::put_strided(SegId id, Rank target, std::size_t offset,
   if (target != me()) {
     SCIOTO_TRACE_EVENT(me(), trace::Ev::PgasPut, target, 0,
                        nrows * row_bytes);
+    SCIOTO_METRIC_CTR(me(), metrics::Ctr::PgasPuts, 1);
+    SCIOTO_METRIC_CTR(me(), metrics::Ctr::PgasPutBytes, nrows * row_bytes);
   }
   std::byte* base = seg_ptr(id, target) + offset;
   const auto* in = static_cast<const std::byte*>(src);
@@ -173,6 +184,8 @@ OpStatus Runtime::get_checked(SegId id, Rank target, std::size_t offset,
       [&] { std::memcpy(dst, seg_ptr(id, target) + offset, n); });
   if (target != me() && st != OpStatus::Dropped) {
     SCIOTO_TRACE_EVENT(me(), trace::Ev::PgasGet, target, 0, n);
+    SCIOTO_METRIC_CTR(me(), metrics::Ctr::PgasGets, 1);
+    SCIOTO_METRIC_CTR(me(), metrics::Ctr::PgasGetBytes, n);
   }
   return st;
 }
@@ -185,6 +198,8 @@ OpStatus Runtime::put_checked(SegId id, Rank target, std::size_t offset,
       [&] { std::memcpy(seg_ptr(id, target) + offset, src, n); });
   if (target != me() && st != OpStatus::Dropped) {
     SCIOTO_TRACE_EVENT(me(), trace::Ev::PgasPut, target, 0, n);
+    SCIOTO_METRIC_CTR(me(), metrics::Ctr::PgasPuts, 1);
+    SCIOTO_METRIC_CTR(me(), metrics::Ctr::PgasPutBytes, n);
   }
   return st;
 }
@@ -201,6 +216,10 @@ OpStatus Runtime::get_with_retry(SegId id, Rank target, std::size_t offset,
     }
     st = get_checked(id, target, offset, dst, n);
     if (st != OpStatus::Dropped) break;
+  }
+  if (a > 0) {
+    SCIOTO_METRIC_CTR(me(), metrics::Ctr::OpRetries,
+                      std::min(a, p.max_attempts - 1));
   }
   if (attempts != nullptr) {
     *attempts = std::min(a + 1, p.max_attempts);
@@ -221,6 +240,10 @@ OpStatus Runtime::put_with_retry(SegId id, Rank target, std::size_t offset,
     }
     st = put_checked(id, target, offset, src, n);
     if (st != OpStatus::Dropped) break;
+  }
+  if (a > 0) {
+    SCIOTO_METRIC_CTR(me(), metrics::Ctr::OpRetries,
+                      std::min(a, p.max_attempts - 1));
   }
   if (attempts != nullptr) {
     *attempts = std::min(a + 1, p.max_attempts);
@@ -245,6 +268,9 @@ OpStatus Runtime::probe_pair_checked(SegId id, Rank target,
   if (target != me() && st != OpStatus::Dropped) {
     SCIOTO_TRACE_EVENT(me(), trace::Ev::PgasGet, target, 0,
                        2 * sizeof(std::uint64_t));
+    SCIOTO_METRIC_CTR(me(), metrics::Ctr::PgasGets, 1);
+    SCIOTO_METRIC_CTR(me(), metrics::Ctr::PgasGetBytes,
+                      2 * sizeof(std::uint64_t));
   }
   return st;
 }
@@ -272,9 +298,16 @@ OpStatus Runtime::get_u64_with_retry(SegId id, Rank target,
       if (target != me()) {
         SCIOTO_TRACE_EVENT(me(), trace::Ev::PgasGet, target, 0,
                            sizeof(std::uint64_t));
+        SCIOTO_METRIC_CTR(me(), metrics::Ctr::PgasGets, 1);
+        SCIOTO_METRIC_CTR(me(), metrics::Ctr::PgasGetBytes,
+                          sizeof(std::uint64_t));
       }
       break;
     }
+  }
+  if (a > 0) {
+    SCIOTO_METRIC_CTR(me(), metrics::Ctr::OpRetries,
+                      std::min(a, pol.max_attempts - 1));
   }
   if (attempts != nullptr) {
     *attempts = std::min(a + 1, pol.max_attempts);
@@ -308,6 +341,13 @@ OpStatus Runtime::put_word_reliable(SegId id, Rank target, std::size_t offset,
     }
   }
   backend_.rma_charge_oneway(target, width);
+  if (retries > 0) {
+    SCIOTO_METRIC_CTR(me(), metrics::Ctr::OpRetries, retries);
+  }
+  if (target != me()) {
+    SCIOTO_METRIC_CTR(me(), metrics::Ctr::PgasPuts, 1);
+    SCIOTO_METRIC_CTR(me(), metrics::Ctr::PgasPutBytes, width);
+  }
   std::byte* p = seg_ptr(id, target) + offset;
   if (width == 8) {
     std::atomic_ref<std::uint64_t>(*reinterpret_cast<std::uint64_t*>(p))
@@ -329,6 +369,8 @@ void Runtime::acc(SegId id, Rank target, std::size_t offset,
     backend_.rma_charge(target, n * sizeof(double));
     SCIOTO_TRACE_EVENT(me(), trace::Ev::PgasAcc, target, 0,
                        n * sizeof(double));
+    SCIOTO_METRIC_CTR(me(), metrics::Ctr::PgasAccs, 1);
+    SCIOTO_METRIC_CTR(me(), metrics::Ctr::PgasPutBytes, n * sizeof(double));
   } else {
     // Local accumulate still pays a memory-system cost under sim.
     backend_.charge(static_cast<TimeNs>(n / 4) + 100);
@@ -347,6 +389,7 @@ std::int64_t Runtime::fetch_add(SegId id, Rank target, std::size_t offset,
   SCIOTO_CHECK(offset + sizeof(std::int64_t) <= seg_bytes(id));
   backend_.rmw_charge(target);
   SCIOTO_TRACE_EVENT(me(), trace::Ev::PgasRmw, target, 0, 0);
+  SCIOTO_METRIC_CTR(me(), metrics::Ctr::PgasRmws, 1);
   auto* p = reinterpret_cast<std::int64_t*>(seg_ptr(id, target) + offset);
   return std::atomic_ref<std::int64_t>(*p).fetch_add(delta);
 }
@@ -357,6 +400,7 @@ std::int64_t Runtime::swap(SegId id, Rank target, std::size_t offset,
   SCIOTO_CHECK(offset + sizeof(std::int64_t) <= seg_bytes(id));
   backend_.rmw_charge(target);
   SCIOTO_TRACE_EVENT(me(), trace::Ev::PgasRmw, target, 0, 0);
+  SCIOTO_METRIC_CTR(me(), metrics::Ctr::PgasRmws, 1);
   auto* p = reinterpret_cast<std::int64_t*>(seg_ptr(id, target) + offset);
   return std::atomic_ref<std::int64_t>(*p).exchange(value);
 }
@@ -542,6 +586,42 @@ RunResult run_spmd(const Config& cfg,
     detect::start(cfg.nranks);
   }
 
+#if SCIOTO_METRICS_ENABLED
+  // SCIOTO_METRICS=1 arms the telemetry plane (per-rank metric patches +
+  // the periodic fleet monitor) for any binary. Period and sinks come from
+  // the staged metrics::config() (C API) with env overrides. A session the
+  // caller already started (e.g. a bench's --live flag) takes precedence
+  // and owns the monitor and any dumps.
+  metrics::Config mcfg = metrics::config();
+  if (const char* v = std::getenv("SCIOTO_METRICS")) {
+    mcfg.enabled = *v != '\0' && *v != '0';
+  }
+  if (const char* v = std::getenv("SCIOTO_METRICS_PERIOD")) {
+    mcfg.period = fault::parse_time(v);
+  }
+  if (const char* v = std::getenv("SCIOTO_METRICS_OUT")) {
+    mcfg.out_path = v;
+  }
+  if (const char* v = std::getenv("SCIOTO_METRICS_PROM")) {
+    mcfg.prom_path = v;
+  }
+  const bool own_metrics = mcfg.enabled && !metrics::active();
+  if (own_metrics) {
+    metrics::start(cfg.nranks);
+    metrics::MonitorOptions mopts;
+    mopts.period = mcfg.period;
+    mopts.out_path = mcfg.out_path;
+    mopts.live = false;
+    mopts.wall_thread = cfg.backend == BackendKind::Threads;
+    metrics::monitor_start(cfg.nranks, mopts);
+    metrics::monitor_set_liveness([](Rank r) {
+      if (!detect::alive(r)) return metrics::RankState::Dead;
+      if (detect::suspected(r)) return metrics::RankState::Suspect;
+      return metrics::RankState::Alive;
+    });
+  }
+#endif
+
   auto wrap = [&](Runtime& rt, Rank r) {
     try {
       body(rt);
@@ -578,6 +658,24 @@ RunResult run_spmd(const Config& cfg,
   if (own_trace) {
     trace::write_chrome_trace_file(trace_out);
     trace::stop();
+  }
+#endif
+
+#if SCIOTO_METRICS_ENABLED
+  if (own_metrics) {
+    if (!mcfg.prom_path.empty()) {
+      std::FILE* f = std::fopen(mcfg.prom_path.c_str(), "w");
+      if (f != nullptr) {
+        std::string text = metrics::prometheus_text();
+        std::fwrite(text.data(), 1, text.size(), f);
+        std::fclose(f);
+      } else {
+        SCIOTO_WARN("cannot open SCIOTO_METRICS_PROM file "
+                    << mcfg.prom_path);
+      }
+    }
+    metrics::monitor_stop();
+    metrics::stop();
   }
 #endif
 

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "detect/membership.hpp"
+#include "metrics/metrics.hpp"
 #include "scioto/task.hpp"
 #include "trace/trace.hpp"
 
@@ -144,6 +145,8 @@ SplitQueue::PushOutcome SplitQueue::try_push_local(const std::byte* task,
   Rank me = rt_.me();
   Ctl& c = ctl(me);
   counters().pushes++;
+  SCIOTO_METRIC_CTR(me, metrics::Ctr::QPushes, 1);
+  TimeNs t0 = SCIOTO_METRICS_ON() ? rt_.now() : 0;
 
   if (cfg_.mode == QueueMode::NoSplit) {
     // No-split ablation: single fully locked region; everything enters at
@@ -165,6 +168,7 @@ SplitQueue::PushOutcome SplitQueue::try_push_local(const std::byte* task,
     rt_.unlock(locks_, me);
     rt_.charge(rt_.machine().local_insert);
     SCIOTO_TRACE_EVENT(me, trace::Ev::Push, affinity, 0, (pt + 1) - sh);
+    metrics_owner_op(metrics::Hist::PushNs, t0);
     return PushOutcome::Ok;
   }
 
@@ -199,6 +203,7 @@ SplitQueue::PushOutcome SplitQueue::try_push_local(const std::byte* task,
     }
     rt_.charge(rt_.machine().local_insert);
     SCIOTO_TRACE_EVENT(me, trace::Ev::Push, affinity, 0, (pt + 1) - sh);
+    metrics_owner_op(metrics::Hist::PushNs, t0);
     return PushOutcome::Ok;
   }
 
@@ -213,6 +218,7 @@ SplitQueue::PushOutcome SplitQueue::try_push_local(const std::byte* task,
       SCIOTO_TRACE_EVENT(me, trace::Ev::Push, affinity, 0,
                          c.priv_tail.load(std::memory_order_relaxed) -
                              c.steal_head.load(std::memory_order_relaxed));
+      metrics_owner_op(metrics::Hist::PushNs, t0);
     }
     return ok ? PushOutcome::Ok : PushOutcome::Full;
   }
@@ -233,12 +239,14 @@ SplitQueue::PushOutcome SplitQueue::try_push_local(const std::byte* task,
   rt_.unlock(locks_, me);
   rt_.charge(rt_.machine().local_insert);
   SCIOTO_TRACE_EVENT(me, trace::Ev::Push, affinity, 0, pt - (sh - 1));
+  metrics_owner_op(metrics::Hist::PushNs, t0);
   return PushOutcome::Ok;
 }
 
 bool SplitQueue::pop_local(std::byte* out) {
   Rank me = rt_.me();
   Ctl& c = ctl(me);
+  TimeNs t0 = SCIOTO_METRICS_ON() ? rt_.now() : 0;
 
   if (cfg_.mode == QueueMode::NoSplit) {
     rt_.lock(locks_, me);
@@ -259,6 +267,8 @@ bool SplitQueue::pop_local(std::byte* out) {
     rt_.charge(rt_.machine().local_get);
     counters().pops++;
     SCIOTO_TRACE_EVENT(me, trace::Ev::Pop, 0, 0, (pt - 1) - sh);
+    SCIOTO_METRIC_CTR(me, metrics::Ctr::QPops, 1);
+    metrics_owner_op(metrics::Hist::PopNs, t0);
     return true;
   }
 
@@ -293,6 +303,8 @@ bool SplitQueue::pop_local(std::byte* out) {
   counters().pops++;
   SCIOTO_TRACE_EVENT(me, trace::Ev::Pop, 0, 0,
                      (pt - 1) - c.steal_head.load(std::memory_order_relaxed));
+  SCIOTO_METRIC_CTR(me, metrics::Ctr::QPops, 1);
+  metrics_owner_op(metrics::Hist::PopNs, t0);
   return true;
 }
 
@@ -323,6 +335,9 @@ std::uint64_t SplitQueue::reacquire() {
         SCIOTO_TRACE_EVENT(me, trace::Ev::Reacquire, got, 0,
                            c.priv_tail.load(std::memory_order_relaxed) -
                                c.steal_head.load(std::memory_order_relaxed));
+        SCIOTO_METRIC_CTR(me, metrics::Ctr::QReacquires, 1);
+        SCIOTO_METRIC_CTR(me, metrics::Ctr::QReacquiredTasks, got);
+        metrics_queue_gauges();
       }
       return static_cast<std::uint64_t>(got);
     }
@@ -360,6 +375,9 @@ std::uint64_t SplitQueue::reacquire() {
             SCIOTO_TRACE_EVENT(me, trace::Ev::ReacquireFast, take, 0,
                                c.priv_tail.load(std::memory_order_relaxed) -
                                    sh2);
+            SCIOTO_METRIC_CTR(me, metrics::Ctr::QReacquires, 1);
+            SCIOTO_METRIC_CTR(me, metrics::Ctr::QReacquiredTasks, take);
+            metrics_queue_gauges();
             return take;
           }
           // Thieves drained the margin under us. Raising split back is
@@ -387,6 +405,9 @@ std::uint64_t SplitQueue::reacquire() {
       counters().reacquires++;
       SCIOTO_TRACE_EVENT(me, trace::Ev::Reacquire, take, 0,
                          c.priv_tail.load(std::memory_order_relaxed) - sh);
+      SCIOTO_METRIC_CTR(me, metrics::Ctr::QReacquires, 1);
+      SCIOTO_METRIC_CTR(me, metrics::Ctr::QReacquiredTasks, take);
+      metrics_queue_gauges();
       return take;
     }
   }
@@ -437,6 +458,9 @@ std::uint64_t SplitQueue::release_maybe() {
   SCIOTO_TRACE_EVENT(rt_.me(), trace::Ev::Release, give, 0,
                      c.priv_tail.load(std::memory_order_relaxed) -
                          c.steal_head.load(std::memory_order_relaxed));
+  SCIOTO_METRIC_CTR(rt_.me(), metrics::Ctr::QReleases, 1);
+  SCIOTO_METRIC_CTR(rt_.me(), metrics::Ctr::QReleasedTasks, give);
+  metrics_queue_gauges();
   return give;
 }
 
@@ -634,6 +658,8 @@ std::uint64_t SplitQueue::recover_open_txns() {
     rec.state.store(0, std::memory_order_release);
     counters().tasks_recovered += n;
     total += n;
+    SCIOTO_METRIC_CTR(me, metrics::Ctr::TasksRecovered, n);
+    metrics_queue_gauges();
     SCIOTO_TRACE_EVENT(me, trace::Ev::TaskRecovered, t,
                        static_cast<std::uint64_t>(n), rt_.now() - t0);
   }
@@ -761,6 +787,8 @@ std::uint64_t SplitQueue::drain_dead(Rank dead) {
   rt_.unlock(locks_, dead);
   if (adopted > 0) {
     counters().tasks_recovered += adopted;
+    SCIOTO_METRIC_CTR(me, metrics::Ctr::TasksRecovered, adopted);
+    metrics_queue_gauges();
     SCIOTO_TRACE_EVENT(me, trace::Ev::TaskRecovered, dead, adopted,
                        rt_.now() - t0);
   }
@@ -897,6 +925,8 @@ int SplitQueue::steal_from_waitfree(Rank victim, std::byte* out) {
 int SplitQueue::steal_from(Rank victim, std::byte* out) {
   counters().steal_attempts++;
   SCIOTO_TRACE_EVENT(rt_.me(), trace::Ev::StealAttempt, victim, 0, 0);
+  SCIOTO_METRIC_CTR(rt_.me(), metrics::Ctr::StealAttempts, 1);
+  TimeNs t0 = SCIOTO_METRICS_ON() ? rt_.now() : 0;
   int n = cfg_.mode == QueueMode::WaitFreeSteal
               ? steal_from_waitfree(victim, out)
               : steal_from_locked(victim, out);
@@ -904,10 +934,20 @@ int SplitQueue::steal_from(Rank victim, std::byte* out) {
     counters().steals_in++;
     counters().tasks_stolen_in += static_cast<std::uint64_t>(n);
     SCIOTO_TRACE_EVENT(rt_.me(), trace::Ev::StealOk, victim, n, 0);
+    SCIOTO_METRIC_CTR(rt_.me(), metrics::Ctr::Steals, 1);
+    SCIOTO_METRIC_CTR(rt_.me(), metrics::Ctr::TasksStolen, n);
+    if (SCIOTO_METRICS_ON()) {
+      // Attempt -> tasks landed in our buffer; the thief's own gauges are
+      // untouched (the stolen chunk is not in its queue yet).
+      metrics::hist_record(rt_.me(), metrics::Hist::StealNs,
+                           static_cast<std::uint64_t>(
+                               std::max<TimeNs>(rt_.now() - t0, 0)));
+    }
   } else if (n == 0) {
     // kStealBusy already traced its own event; it is neither a success
     // nor an empty-handed probe.
     SCIOTO_TRACE_EVENT(rt_.me(), trace::Ev::StealFail, victim, 0, 0);
+    SCIOTO_METRIC_CTR(rt_.me(), metrics::Ctr::StealFails, 1);
   }
   return n;
 }
@@ -1013,6 +1053,35 @@ std::uint64_t SplitQueue::debug_patch_hash(Rank r) {
     h *= 1099511628211ull;
   }
   return h;
+}
+
+void SplitQueue::metrics_owner_op(metrics::Hist h, TimeNs t0) {
+  if (!SCIOTO_METRICS_ON()) {
+    return;
+  }
+  // Under sim this measures the op's charged virtual time (lock waits
+  // included); under threads, actual elapsed wall time.
+  metrics::hist_record(rt_.me(), h,
+                       static_cast<std::uint64_t>(
+                           std::max<TimeNs>(rt_.now() - t0, 0)));
+  metrics_queue_gauges();
+}
+
+void SplitQueue::metrics_queue_gauges() {
+  if (!SCIOTO_METRICS_ON()) {
+    return;
+  }
+  Rank me = rt_.me();
+  Ctl& c = ctl(me);
+  std::uint64_t pt = unfrozen(c.priv_tail.load(std::memory_order_relaxed));
+  std::uint64_t sp = c.split.load(std::memory_order_relaxed);
+  std::uint64_t sh = c.steal_head.load(std::memory_order_relaxed);
+  metrics::gauge_set(me, metrics::Gauge::QueueDepth, pt > sh ? pt - sh : 0);
+  metrics::gauge_set(me, metrics::Gauge::QueueShared, sp > sh ? sp - sh : 0);
+  // Split position relative to the ring origin: how far the split point
+  // has travelled this phase (monotone except for reacquires).
+  metrics::gauge_set(me, metrics::Gauge::QueueSplit,
+                     sp > kIndexBase ? sp - kIndexBase : 0);
 }
 
 void SplitQueue::reset_collective() {

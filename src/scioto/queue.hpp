@@ -62,6 +62,7 @@
 #include <atomic>
 #include <cstdint>
 
+#include "metrics/metrics.hpp"
 #include "pgas/runtime.hpp"
 
 namespace scioto {
@@ -304,6 +305,14 @@ class SplitQueue {
   int steal_from_locked(Rank victim, std::byte* out);
   int steal_from_waitfree(Rank victim, std::byte* out);
   bool add_remote_waitfree(Rank target, const std::byte* task);
+  /// Telemetry: record an owner-op latency sample (t0 taken at op entry)
+  /// and refresh this rank's queue gauges. One predicted-false branch when
+  /// no metrics session is active.
+  void metrics_owner_op(metrics::Hist h, TimeNs t0);
+  /// Publish this rank's queue depth / shared size / split position into
+  /// its metrics patch. Owner-only: thieves never write a victim's gauges
+  /// (single-writer seqlock), so a steal shows up at the victim's next op.
+  void metrics_queue_gauges();
 
   pgas::Runtime& rt_;
   Config cfg_;

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "fault/fault.hpp"
+#include "metrics/metrics.hpp"
 #include "scioto/task_collection.hpp"
 
 namespace {
@@ -293,6 +294,69 @@ void scioto_detector_stats_get(scioto_detector_stats_t* out) {
   out->fence_aborts = s.fence_aborts;
   out->rejoins = s.rejoins;
   out->max_detect_latency_ns = s.max_detect_latency;
+}
+
+int scioto_metrics_enabled(void) {
+  return scioto::metrics::config().enabled ? 1 : 0;
+}
+
+void scioto_metrics_set(int enabled) {
+  scioto::metrics::Config c = scioto::metrics::config();
+  c.enabled = enabled != 0;
+  scioto::metrics::set_config(c);
+}
+
+int64_t scioto_metrics_period_ns(void) {
+  return scioto::metrics::config().period;
+}
+
+void scioto_set_metrics_period_ns(int64_t period_ns) {
+  SCIOTO_REQUIRE(period_ns > 0,
+                 "scioto_set_metrics_period_ns: period must be > 0");
+  scioto::metrics::Config c = scioto::metrics::config();
+  c.period = period_ns;
+  scioto::metrics::set_config(c);
+}
+
+// The opaque handle wraps the C++ snapshot; the struct tag in the header
+// is completed here so the pointer round-trips type-safely.
+struct scioto_metrics_snapshot {
+  scioto::metrics::Snapshot snap;
+};
+
+scioto_metrics_snapshot_t* scioto_metrics_snapshot(int rank) {
+  if (!scioto::metrics::active() || rank < 0 ||
+      rank >= scioto::metrics::session_nranks()) {
+    return nullptr;
+  }
+  auto* out = new scioto_metrics_snapshot_t();
+  if (!scioto::metrics::scrape(rank, &out->snap)) {
+    delete out;
+    return nullptr;
+  }
+  return out;
+}
+
+void scioto_metrics_snapshot_free(scioto_metrics_snapshot_t* snap) {
+  delete snap;
+}
+
+int scioto_metrics_read(const scioto_metrics_snapshot_t* snap,
+                        const char* name, uint64_t* value) {
+  if (snap == nullptr || name == nullptr || value == nullptr) {
+    return -1;
+  }
+  return scioto::metrics::read_metric(snap->snap, name, value) ? 0 : -1;
+}
+
+int scioto_metrics_read_rank(int rank, const char* name, uint64_t* value) {
+  scioto_metrics_snapshot_t* s = scioto_metrics_snapshot(rank);
+  if (s == nullptr) {
+    return -1;
+  }
+  int rc = scioto_metrics_read(s, name, value);
+  scioto_metrics_snapshot_free(s);
+  return rc;
 }
 
 }  // extern "C"

@@ -167,6 +167,42 @@ typedef struct scioto_detector_stats {
 
 void scioto_detector_stats_get(scioto_detector_stats_t* out);
 
+/* ---- Live metrics --------------------------------------------------------
+ * The global-view telemetry plane: per-rank counters, gauges, and
+ * latency histograms in a seqlock-snapshotted patch any rank can scrape
+ * with one-sided reads. Process-global and staged like the detector
+ * knobs: scioto_metrics_set() arms a session inside the next SPMD run
+ * (the SCIOTO_METRICS / SCIOTO_METRICS_PERIOD / SCIOTO_METRICS_OUT /
+ * SCIOTO_METRICS_PROM environment knobs override it). Reads work both
+ * during a run (live) and right up to scioto run teardown. */
+
+/// Nonzero when a metrics session is staged to arm on the next SPMD run.
+int scioto_metrics_enabled(void);
+void scioto_metrics_set(int enabled);
+
+/// Monitor sampling period, in nanoseconds (virtual under sim).
+int64_t scioto_metrics_period_ns(void);
+void scioto_set_metrics_period_ns(int64_t period_ns);
+
+/// Opaque tear-free snapshot of one rank's metric patch, taken with the
+/// same seqlock-validated copy the monitor uses. Returns a handle to
+/// library-owned storage (freed by scioto_metrics_snapshot_free), or NULL
+/// when no metrics session is active or the scrape kept racing.
+typedef struct scioto_metrics_snapshot scioto_metrics_snapshot_t;
+scioto_metrics_snapshot_t* scioto_metrics_snapshot(int rank);
+void scioto_metrics_snapshot_free(scioto_metrics_snapshot_t* snap);
+
+/// Reads one metric out of a snapshot by its exposition name: any counter
+/// or gauge ("tasks_executed", "queue_depth", ...) or a histogram name
+/// suffixed _count/_sum/_max/_mean/_p50/_p95/_p99 ("steal_ns_p99").
+/// Returns 0 and stores into *value on success, -1 on unknown name.
+int scioto_metrics_read(const scioto_metrics_snapshot_t* snap,
+                        const char* name, uint64_t* value);
+
+/// One-call convenience: scrape `rank` and read `name` from the fresh
+/// snapshot. Returns 0 on success, -1 when inactive or unknown.
+int scioto_metrics_read_rank(int rank, const char* name, uint64_t* value);
+
 }  // extern "C"
 
 namespace scioto::capi {

@@ -6,6 +6,8 @@
 #include <thread>
 
 #include "base/log.hpp"
+#include "metrics/metrics.hpp"
+#include "metrics/monitor.hpp"
 #include "trace/trace.hpp"
 
 namespace scioto {
@@ -219,9 +221,13 @@ void TaskCollection::add_raw(Rank where, int affinity,
     ok = queue_->add_remote(where, scratch.data());
     if (ok) {
       my_stats().tasks_spawned_remote++;
+      SCIOTO_METRIC_CTR(rt_.me(), metrics::Ctr::RemoteSpawns, 1);
       // A remote add moves work: termination detection must know (§5.2).
       td_->note_lb_op(where);
     }
+  }
+  if (ok) {
+    SCIOTO_METRIC_CTR(rt_.me(), metrics::Ctr::TasksSpawned, 1);
   }
   SCIOTO_REQUIRE(ok, "task collection patch on rank "
                          << where << " is full (max_tasks_per_rank="
@@ -233,6 +239,7 @@ void TaskCollection::execute(std::byte* descriptor) {
   const TaskFn& fn =
       registries_[static_cast<std::size_t>(rt_.me())].lookup(hdr->callback);
   TaskContext ctx{*this, *hdr, descriptor + sizeof(TaskHeader), rt_.me()};
+  const TimeNs metrics_t0 = SCIOTO_METRICS_ON() ? rt_.now() : 0;
 #if SCIOTO_TRACE_ENABLED
   // Same clock reads the process() loop uses for time_working, so the
   // trace-derived working time reconciles with TcStats exactly under sim.
@@ -251,6 +258,12 @@ void TaskCollection::execute(std::byte* descriptor) {
   }
 #endif
   my_stats().tasks_executed++;
+  SCIOTO_METRIC_CTR(rt_.me(), metrics::Ctr::TasksExecuted, 1);
+  if (SCIOTO_METRICS_ON()) {
+    metrics::hist_record(rt_.me(), metrics::Hist::TaskExecNs,
+                         static_cast<std::uint64_t>(
+                             std::max<TimeNs>(rt_.now() - metrics_t0, 0)));
+  }
 }
 
 void TaskCollection::fence_abort_and_rejoin() {
@@ -310,6 +323,13 @@ void TaskCollection::process() {
   std::uint64_t idle_iterations = 0;  // watchdog for diagnostics
 
   for (;;) {
+    // Telemetry pump: under the sim backend the monitor samples in virtual
+    // time from here (the designated sampler scrapes; everyone else
+    // returns after one comparison). Charge-free, so metrics-on traces
+    // stay identical to metrics-off. No-op under threads (wall thread).
+    if (SCIOTO_METRICS_ON()) {
+      metrics::monitor_poll(rt_.me(), rt_.now());
+    }
     // 0. Safepoint: injected fail-stop kills fire only here and at the
     // post-steal safepoint below -- never while holding a lock.
     if (ft) {
@@ -345,6 +365,7 @@ void TaskCollection::process() {
     if (queue_->pop_local(exec_buf)) {
       if (search_accum > 0) {
         SCIOTO_TRACE_EVENT(rt_.me(), trace::Ev::Search, 0, 0, search_accum);
+        SCIOTO_METRIC_HIST(rt_.me(), metrics::Hist::SearchNs, search_accum);
         search_accum = 0;
       }
       TimeNs t0 = rt_.now();
@@ -529,6 +550,7 @@ void TaskCollection::process() {
           st.time_searching += spell;
           search_accum += spell;
           SCIOTO_TRACE_EVENT(rt_.me(), trace::Ev::Search, 0, 0, search_accum);
+          SCIOTO_METRIC_HIST(rt_.me(), metrics::Hist::SearchNs, search_accum);
           search_accum = 0;
           if (ft) {
             // Requeue the whole chunk, then close the transaction. No
@@ -593,6 +615,7 @@ void TaskCollection::process() {
       search_accum += spell;
       if (search_accum > 0) {
         SCIOTO_TRACE_EVENT(rt_.me(), trace::Ev::Search, 0, 0, search_accum);
+        SCIOTO_METRIC_HIST(rt_.me(), metrics::Hist::SearchNs, search_accum);
       }
       break;
     }

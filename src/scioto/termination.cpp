@@ -1,9 +1,11 @@
 #include "scioto/termination.hpp"
 
+#include <algorithm>
 #include <cstddef>
 
 #include "detect/membership.hpp"
 #include "fault/fault.hpp"
+#include "metrics/metrics.hpp"
 #include "trace/trace.hpp"
 
 namespace scioto {
@@ -228,6 +230,8 @@ TerminationDetector::Status TerminationDetector::step() {
       // Previous wave concluded (or none started): launch the next one.
       ++st.wave_seen;
       my_counters().waves_started++;
+      SCIOTO_METRIC_CTR(me, metrics::Ctr::TdWaves, 1);
+      st.wave_begin = SCIOTO_METRICS_ON() ? rt_.now() : 0;
       SCIOTO_TRACE_EVENT(me, trace::Ev::WaveStart, st.wave_seen, 0, 0);
       for (int s = 0; s < 2; ++s) {
         if (st.kids[s] != kNoRank) {
@@ -272,10 +276,19 @@ TerminationDetector::Status TerminationDetector::step() {
       st.self_black = false;
       st.voted_wave = st.wave_seen;
       my_counters().waves_voted++;
+      SCIOTO_METRIC_CTR(me, metrics::Ctr::TdVotes, 1);
       if (black) {
         my_counters().black_votes++;
+        SCIOTO_METRIC_CTR(me, metrics::Ctr::TdBlackVotes, 1);
       }
       SCIOTO_TRACE_EVENT(me, trace::Ev::Vote, st.wave_seen, black ? 1 : 0, 0);
+      if (root && SCIOTO_METRICS_ON()) {
+        // Root vote closes the wave it launched: wave latency = launch ->
+        // all votes in (the paper's Figure 4 latency, live).
+        metrics::hist_record(me, metrics::Hist::WaveNs,
+                             static_cast<std::uint64_t>(std::max<TimeNs>(
+                                 rt_.now() - st.wave_begin, 0)));
+      }
       if (root) {
         if (!black) {
           // All-white wave: decide termination and broadcast.

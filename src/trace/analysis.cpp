@@ -275,4 +275,61 @@ std::vector<std::vector<OccupancySample>> occupancy_timeline(
   return out;
 }
 
+void DurationDist::add(std::uint64_t v) {
+  ++count;
+  sum += v;
+  if (v > max) {
+    max = v;
+  }
+  ++buckets[stats::log2_bucket(v, stats::kLog2Buckets)];
+}
+
+std::vector<DurationDist> duration_percentiles(
+    const std::vector<Event>& events) {
+  DurationDist exec, search, recover;
+  exec.name = ev_name(Ev::TaskEnd);
+  search.name = ev_name(Ev::Search);
+  recover.name = ev_name(Ev::TaskRecovered);
+  for (const Event& e : events) {
+    if (e.c < 0) {
+      continue;  // defensively skip malformed durations
+    }
+    std::uint64_t v = static_cast<std::uint64_t>(e.c);
+    switch (e.kind) {
+      case Ev::TaskEnd:
+        exec.add(v);
+        break;
+      case Ev::Search:
+        search.add(v);
+        break;
+      case Ev::TaskRecovered:
+        recover.add(v);
+        break;
+      default:
+        break;
+    }
+  }
+  std::vector<DurationDist> out;
+  for (DurationDist* d : {&exec, &search, &recover}) {
+    if (d->count > 0) {
+      out.push_back(*d);
+    }
+  }
+  return out;
+}
+
+Table duration_table(const std::vector<DurationDist>& rows) {
+  Table t({"event", "count", "mean_ns", "p50_ns", "p95_ns", "p99_ns",
+           "max_ns"});
+  for (const DurationDist& d : rows) {
+    t.add_row({d.name, Table::fmt(static_cast<std::int64_t>(d.count)),
+               Table::fmt(d.mean(), 1),
+               Table::fmt(static_cast<std::int64_t>(d.percentile(50))),
+               Table::fmt(static_cast<std::int64_t>(d.percentile(95))),
+               Table::fmt(static_cast<std::int64_t>(d.percentile(99))),
+               Table::fmt(static_cast<std::int64_t>(d.max))});
+  }
+  return t;
+}
+
 }  // namespace scioto::trace

@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "base/stats.hpp"
 #include "base/table.hpp"
 #include "base/types.hpp"
 #include "trace/trace.hpp"
@@ -119,5 +120,37 @@ std::vector<DetectionRecord> detection_latency(const std::vector<Event>& events,
 /// confirmation times, detection latency, confirming rank, and the
 /// suspect/refute churn leading up to it.
 Table detection_table(const std::vector<DetectionRecord>& rows);
+
+/// Log2-bucketed latency distribution of one duration-carrying event kind
+/// (task execution times, idle-search spells, ...), built with the same
+/// base/stats bucketing the live metrics histograms use -- post-hoc trace
+/// percentiles and a live scrape of the matching metrics::Hist agree
+/// bucket-for-bucket.
+struct DurationDist {
+  const char* name = "";  // ev_name() of the source event kind
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t max = 0;
+  std::uint64_t buckets[stats::kLog2Buckets] = {};
+
+  double mean() const {
+    return count ? static_cast<double>(sum) / static_cast<double>(count) : 0.0;
+  }
+  /// Nearest-rank percentile, reported as the containing bucket's ceiling.
+  std::uint64_t percentile(double p) const {
+    return stats::hist_percentile(buckets, stats::kLog2Buckets, p);
+  }
+
+  void add(std::uint64_t v);
+};
+
+/// Distributions of TaskEnd execution durations, Search spell lengths,
+/// and TaskRecovered adoption durations (rows with count == 0 are
+/// omitted), over any event stream carrying those kinds.
+std::vector<DurationDist> duration_percentiles(
+    const std::vector<Event>& events);
+
+/// Renders one row per distribution: count, mean, p50/p95/p99, max (ns).
+Table duration_table(const std::vector<DurationDist>& rows);
 
 }  // namespace scioto::trace
