@@ -34,6 +34,66 @@ double frobenius(const double* a, std::int64_t m, std::int64_t n) {
   return std::sqrt(s);
 }
 
+bool potrf_tile(double* a, std::int64_t b) {
+  for (std::int64_t k = 0; k < b; ++k) {
+    double d = a[k * b + k];
+    for (std::int64_t t = 0; t < k; ++t) {
+      d -= a[k * b + t] * a[k * b + t];
+    }
+    if (d <= 0.0) return false;
+    d = std::sqrt(d);
+    a[k * b + k] = d;
+    for (std::int64_t i = k + 1; i < b; ++i) {
+      double s = a[i * b + k];
+      for (std::int64_t t = 0; t < k; ++t) {
+        s -= a[i * b + t] * a[k * b + t];
+      }
+      a[i * b + k] = s / d;
+    }
+  }
+  return true;
+}
+
+void trsm_tile(double* bmat, const double* l, std::int64_t b) {
+  // Solve X * L^T = B row by row: column c of each row depends only on
+  // earlier columns, so forward-substitute against L's rows.
+  for (std::int64_t r = 0; r < b; ++r) {
+    double* x = bmat + r * b;
+    for (std::int64_t c = 0; c < b; ++c) {
+      double s = x[c];
+      for (std::int64_t t = 0; t < c; ++t) {
+        s -= x[t] * l[c * b + t];
+      }
+      x[c] = s / l[c * b + c];
+    }
+  }
+}
+
+void syrk_tile(double* c, const double* a, std::int64_t b) {
+  for (std::int64_t i = 0; i < b; ++i) {
+    for (std::int64_t j = 0; j <= i; ++j) {
+      double s = 0;
+      for (std::int64_t t = 0; t < b; ++t) {
+        s += a[i * b + t] * a[j * b + t];
+      }
+      c[i * b + j] -= s;
+    }
+  }
+}
+
+void gemm_tile(double* c, const double* a, const double* bmat,
+               std::int64_t b) {
+  for (std::int64_t i = 0; i < b; ++i) {
+    for (std::int64_t j = 0; j < b; ++j) {
+      double s = 0;
+      for (std::int64_t t = 0; t < b; ++t) {
+        s += a[i * b + t] * bmat[j * b + t];
+      }
+      c[i * b + j] -= s;
+    }
+  }
+}
+
 void jacobi_eigensymm(std::vector<double> a, std::int64_t n,
                       std::vector<double>& eigenvalues,
                       std::vector<double>& eigenvectors, int max_sweeps) {

@@ -18,6 +18,28 @@ void matmul(const double* a, const double* b, double* c, std::int64_t m,
 /// Frobenius norm of an m x n matrix.
 double frobenius(const double* a, std::int64_t m, std::int64_t n);
 
+// ---- Tile kernels for blocked (right-looking) Cholesky ----
+// All tiles are row-major b x b. These are the four BLAS-level building
+// blocks of the tiled factorization: the DAG Cholesky app composes them;
+// a task's entire compute is one kernel call on tiles it fetched
+// one-sided.
+
+/// In-place unblocked Cholesky of a b x b tile: A = L * L^T, lower
+/// triangle of `a` replaced by L (strict upper left untouched).
+/// Returns false if a non-positive pivot is hit (A not SPD).
+bool potrf_tile(double* a, std::int64_t b);
+
+/// Triangular solve B = B * L^-T with L the lower-triangular potrf output
+/// (the panel update: A[i][k] after potrf of A[k][k]).
+void trsm_tile(double* bmat, const double* l, std::int64_t b);
+
+/// Symmetric rank-b downdate C -= A * A^T (trailing diagonal tile).
+void syrk_tile(double* c, const double* a, std::int64_t b);
+
+/// General downdate C -= A * B^T (trailing off-diagonal tile).
+void gemm_tile(double* c, const double* a, const double* bmat,
+               std::int64_t b);
+
 /// Symmetric eigendecomposition by cyclic Jacobi rotations.
 ///
 /// On input `a` is a symmetric n x n matrix (row-major, only fully stored

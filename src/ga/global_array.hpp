@@ -69,6 +69,20 @@ class GlobalArray {
   /// Convenience: value at (i, j) via a 1-element get.
   double at(std::int64_t i, std::int64_t j);
 
+  // ---- Raw addressing (dependency engine integration) ----
+  /// The backing segment id, for layers that describe array bytes to the
+  /// PGAS runtime directly -- e.g. the DAG scheduler's data-version edges
+  /// name a produced patch as (seg, owner, offset, len).
+  pgas::SegId seg() const { return seg_; }
+  /// Byte offset of element (i, j) inside its owner's panel. The owner is
+  /// owner_of_row(i); a row span [i, i+n) within one owner covers
+  /// n * cols() * sizeof(double) contiguous bytes from row i's offset.
+  std::size_t elem_offset(std::int64_t i, std::int64_t j) const {
+    const Rank r = owner_of_row(i);
+    return static_cast<std::size_t>((i - row_lo(r)) * cols_ + j) *
+           sizeof(double);
+  }
+
   // ---- Collectives ----
   /// Collective: sets every element to v.
   void fill(double v);

@@ -42,6 +42,11 @@ const char* ctr_name(Ctr c) {
     case Ctr::PgasRmws:         return "pgas_rmws";
     case Ctr::PgasGetBytes:     return "pgas_get_bytes";
     case Ctr::PgasPutBytes:     return "pgas_put_bytes";
+    case Ctr::DagNodesRun:      return "dag_nodes_run";
+    case Ctr::DagNodesFired:    return "dag_nodes_fired";
+    case Ctr::DagConflictRetries: return "dag_conflict_retries";
+    case Ctr::DagVersionWaits:  return "dag_version_waits";
+    case Ctr::DagRemoteFires:   return "dag_remote_fires";
     case Ctr::kCount:           break;
   }
   return "?";
@@ -54,6 +59,8 @@ const char* gauge_name(Gauge g) {
     case Gauge::QueueSplit:   return "queue_split";
     case Gauge::AliveView:    return "alive_view";
     case Gauge::SuspectsView: return "suspects_view";
+    case Gauge::DagParked:    return "dag_parked";
+    case Gauge::DagDepthMax:  return "dag_depth_max";
     case Gauge::kCount:       break;
   }
   return "?";
@@ -68,6 +75,7 @@ const char* hist_name(Hist h) {
     case Hist::StealNs:     return "steal_ns";
     case Hist::WaveNs:      return "wave_ns";
     case Hist::ProbeRttNs:  return "probe_rtt_ns";
+    case Hist::DagNodeDepth: return "dag_node_depth";
     case Hist::kCount:      break;
   }
   return "?";

@@ -87,6 +87,13 @@ enum class Ctr : int {
   PgasRmws,         // one-sided fetch-add/swap operations (remote targets)
   PgasGetBytes,     // bytes moved by gets
   PgasPutBytes,     // bytes moved by puts
+  // DAG scheduler (src/dag); all zero when no DagScheduler runs.
+  DagNodesRun,      // dag nodes executed to completion by this rank
+  DagNodesFired,    // nodes this rank made ready (fleet fired - fleet run
+                    // = globally ready/running dag nodes)
+  DagConflictRetries, // dispatches bounced off a held conflict-group lock
+  DagVersionWaits,  // dispatches deferred on an unbumped data version
+  DagRemoteFires,   // subset of DagNodesFired homed on another rank
   kCount
 };
 
@@ -96,6 +103,9 @@ enum class Gauge : int {
   QueueSplit,    // split position: tasks ever moved past the split point
   AliveView,     // ranks this rank's membership view believes alive
   SuspectsView,  // peers this rank currently suspects
+  DagParked,     // dag nodes parked on this rank awaiting a gate (conflict
+                 // lock or data version) -- the deferred ready-set
+  DagDepthMax,   // deepest dag node this rank has executed so far
   kCount
 };
 
@@ -107,6 +117,7 @@ enum class Hist : int {
   StealNs,      // successful steal latency (attempt -> tasks landed)
   WaveNs,       // termination wave latency (root only)
   ProbeRttNs,   // detector probe round-trip time
+  DagNodeDepth, // critical-path depth of each executed dag node
   kCount
 };
 

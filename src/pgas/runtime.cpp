@@ -405,6 +405,19 @@ std::int64_t Runtime::swap(SegId id, Rank target, std::size_t offset,
   return std::atomic_ref<std::int64_t>(*p).exchange(value);
 }
 
+std::int64_t Runtime::compare_swap(SegId id, Rank target, std::size_t offset,
+                                   std::int64_t expected,
+                                   std::int64_t desired) {
+  SCIOTO_CHECK(offset % alignof(std::int64_t) == 0);
+  SCIOTO_CHECK(offset + sizeof(std::int64_t) <= seg_bytes(id));
+  backend_.rmw_charge(target);
+  SCIOTO_TRACE_EVENT(me(), trace::Ev::PgasRmw, target, 0, 0);
+  SCIOTO_METRIC_CTR(me(), metrics::Ctr::PgasRmws, 1);
+  auto* p = reinterpret_cast<std::int64_t*>(seg_ptr(id, target) + offset);
+  std::atomic_ref<std::int64_t>(*p).compare_exchange_strong(expected, desired);
+  return expected;  // compare_exchange_strong wrote the observed value here
+}
+
 void Runtime::atomic_publish_charge() {
   // One store + fence + validating load on the owner's own control block:
   // charged like a local queue get (the cheapest Table-1 op), because no

@@ -170,6 +170,12 @@ class Runtime {
   /// Atomic swap on an 8-byte-aligned int64 slot.
   std::int64_t swap(SegId id, Rank target, std::size_t offset,
                     std::int64_t value);
+  /// Atomic compare-and-swap on an 8-byte-aligned int64 slot: installs
+  /// `desired` iff the slot holds `expected`. Returns the value observed
+  /// before the operation (== expected on success). Costs one RMW like
+  /// fetch_add/swap; the DAG engine's conflict-group locks are built on it.
+  std::int64_t compare_swap(SegId id, Rank target, std::size_t offset,
+                            std::int64_t expected, std::int64_t desired);
   /// Cost accounting for callers that use seg_ptr directly for fine-grained
   /// remote atomics (the Scioto queue does); pairs a charge with a
   /// scheduler sync so simulated ordering stays honest.

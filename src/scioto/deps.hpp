@@ -1,77 +1,25 @@
-// Inter-task dependencies: the extension sketched in the paper's §8
-// ("presently working on extending our independent task model with support
-// for tasks that exhibit arbitrary inter-task dependencies").
+// DEPRECATED compatibility shim -- the TaskDag stub that lived here grew
+// into the full dependency engine in src/dag (conflict edges, remote data
+// versioning, streaming graph build). This header survives for one release
+// so existing includes and the `TaskDag` spelling keep compiling:
 //
-// TaskDag lets a program describe a DAG of tasks and executes it on top of
-// an ordinary TaskCollection: each node carries a remaining-dependency
-// counter homed on the node's home rank; when a task finishes, it
-// decrements each successor's counter with a one-sided fetch-and-add, and
-// the decrement that reaches zero enqueues the successor (with high
-// affinity on its home rank). Ready tasks still migrate freely via work
-// stealing, so load balancing and locality-aware placement compose with
-// dependencies.
+//   scioto::TaskDag dag(tc);          // now scioto::dag::DagScheduler
+//   TaskDag::NodeId id = dag.add_node(home, fn);   // ids are now int64
 //
-// Build protocol: the DAG description is *replicated* -- every rank makes
-// identical add_node/add_edge calls (the same SPMD discipline as callback
-// registration). This keeps node bodies local everywhere a task might
-// execute and avoids serializing closures through task descriptors.
+// The old API surface (add_node(Rank, std::function<void()>), add_edge,
+// num_nodes, execute) is a strict subset of DagScheduler's; the only
+// observable change is stronger validation -- add_edge rejects self-edges
+// and out-of-range ids at call time, and execute() names the offending
+// node ids when it finds a cycle.
+//
+// New code should include "dag/dag.hpp" and use scioto::dag::DagScheduler
+// directly. This alias will be removed in the next release.
 #pragma once
 
-#include <cstdint>
-#include <functional>
-#include <vector>
-
-#include "scioto/task_collection.hpp"
+#include "dag/dag.hpp"
 
 namespace scioto {
 
-class TaskDag {
- public:
-  using NodeId = std::int32_t;
-
-  /// Collective: registers the internal dispatch callback on `tc`. Must be
-  /// created before tc's other registrations finish diverging (same-order
-  /// rule applies).
-  explicit TaskDag(TaskCollection& tc);
-
-  /// Replicated build call: all ranks add the same node with the same
-  /// home. `fn` runs on whichever rank executes the node.
-  NodeId add_node(Rank home, std::function<void()> fn);
-
-  /// Replicated build call: `succ` cannot start until `pred` completed.
-  /// Edges must form a DAG; cycles are detected at execute().
-  void add_edge(NodeId pred, NodeId succ);
-
-  std::size_t num_nodes() const { return nodes_.size(); }
-
-  /// Collective: seeds all ready nodes and processes the collection until
-  /// every node has executed. Throws scioto::Error if the graph has a
-  /// cycle (some nodes can never become ready).
-  void execute();
-
- private:
-  struct Node {
-    Rank home = 0;
-    std::function<void()> fn;
-    std::int64_t deps = 0;
-    std::vector<NodeId> successors;
-    /// Index of this node's counter within its home rank's slot array.
-    std::int64_t home_slot = -1;
-  };
-
-  struct DagBody {
-    NodeId node;
-  };
-
-  void run_node(TaskContext& ctx);
-  std::size_t counter_offset(NodeId id) const;
-
-  TaskCollection& tc_;
-  TaskHandle dispatch_handle_ = kInvalidHandle;
-  std::vector<Node> nodes_;
-  std::vector<std::int64_t> slots_per_rank_;
-  pgas::SegId counters_seg_ = -1;
-  bool executed_ = false;
-};
+using TaskDag = dag::DagScheduler;
 
 }  // namespace scioto

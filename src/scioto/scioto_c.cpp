@@ -78,6 +78,10 @@ RuntimeBinding::~RuntimeBinding() {
   }
 }
 
+pgas::Runtime& bound_runtime() { return runtime(); }
+
+TaskCollection& lookup_collection(tc_t h) { return collection(h); }
+
 }  // namespace scioto::capi
 
 extern "C" {

@@ -203,7 +203,63 @@ int scioto_metrics_read(const scioto_metrics_snapshot_t* snap,
 /// snapshot. Returns 0 on success, -1 when inactive or unknown.
 int scioto_metrics_read_rank(int rank, const char* name, uint64_t* value);
 
+/* ---- Dataflow DAG scheduler ----------------------------------------------
+ * C veneer over scioto::dag::DagScheduler (src/dag): replicated graph
+ * build (every rank makes identical calls, node bodies stay local), then a
+ * collective execute that runs nodes in dependency order through the task
+ * collection -- ready nodes still migrate via work stealing. Same
+ * collectives discipline as tc_*; see the C++ header for semantics. */
+
+/// Opaque DAG handle (dense per-collection index, identical on all ranks).
+typedef int scioto_dag_t;
+/// Node identifier as returned by scioto_dag_add_node.
+typedef int64_t scioto_dag_node_t;
+/// Node body: runs on whichever rank executes the node, with the `user`
+/// pointer given at add time (must be valid on every rank -- replicated
+/// build means each rank registered its own local pointer).
+typedef void (*scioto_dag_node_fn)(void* user);
+
+/// Collective: creates a DAG scheduler over the collection.
+scioto_dag_t scioto_dag_create(tc_t tc);
+/// Rank-local teardown of this rank's scheduler object.
+void scioto_dag_destroy(scioto_dag_t dag);
+/// Adds a node homed on `home`; `group` is a conflict group from
+/// scioto_dag_conflict_group or -1 for none. Returns the node id, or -1 on
+/// invalid arguments.
+scioto_dag_node_t scioto_dag_add_node(scioto_dag_t dag, int home,
+                                      scioto_dag_node_fn fn, void* user,
+                                      int group);
+/// `succ` cannot start until `pred` completed. Returns 0, or -1 on invalid
+/// ids / self-edge (message copied into errbuf when non-NULL).
+int scioto_dag_add_edge(scioto_dag_t dag, scioto_dag_node_t pred,
+                        scioto_dag_node_t succ, char* errbuf, int errbuf_len);
+/// Creates a conflict group: nodes in one group serialize without ordering.
+int scioto_dag_conflict_group(scioto_dag_t dag);
+/// Collective: validates (0 return) and runs the graph to completion.
+/// Returns -1 on a build error -- e.g. a dependency cycle, whose node ids
+/// are named in the message copied into errbuf.
+int scioto_dag_execute(scioto_dag_t dag, char* errbuf, int errbuf_len);
+
+/// C view of scioto::dag::DagStats summed over ranks (max_depth maxed).
+typedef struct scioto_dag_stats {
+  uint64_t nodes_run;
+  uint64_t nodes_fired;
+  uint64_t remote_fires;
+  uint64_t conflict_retries;
+  uint64_t version_waits;
+  uint64_t dyn_spawned;
+  uint64_t satisfies;
+  uint64_t max_depth;
+} scioto_dag_stats_t;
+
+/// Collective: fills `out` with global statistics from the last execute.
+void scioto_dag_stats_get(scioto_dag_t dag, scioto_dag_stats_t* out);
+
 }  // extern "C"
+
+namespace scioto {
+class TaskCollection;
+}
 
 namespace scioto::capi {
 
@@ -217,5 +273,12 @@ class RuntimeBinding {
   RuntimeBinding(const RuntimeBinding&) = delete;
   RuntimeBinding& operator=(const RuntimeBinding&) = delete;
 };
+
+/// The bound runtime and the calling rank's collection for a tc handle.
+/// For layered C shims built on tc_* handles (the DAG veneer in src/dag
+/// lives in a separate library and cannot reach the internal table).
+/// Throw scioto::Error when unbound / invalid.
+pgas::Runtime& bound_runtime();
+TaskCollection& lookup_collection(tc_t h);
 
 }  // namespace scioto::capi

@@ -422,6 +422,21 @@ void TaskCollection::process() {
       }
     }
 
+    // 3b. Scheduler extension: parked dataflow nodes whose gates opened are
+    // re-injected by the DAG engine's idle hook. Like fault recovery above,
+    // work re-materialized locally without a steal must keep our next vote
+    // black, or the wave in flight could conclude all-white over it.
+    if (idle_hook_) {
+      std::uint64_t injected = idle_hook_();
+      if (injected > 0) {
+        td_->mark_self_black();
+        TimeNs spell = rt_.now() - idle_begin;
+        st.time_searching += spell;
+        search_accum += spell;
+        continue;
+      }
+    }
+
     bool got_work = false;
     bool attempted = false;
     if (cfg_.load_balancing && n > 1 && polls_until_steal <= 0) {
@@ -607,6 +622,11 @@ void TaskCollection::process() {
     if (ft && queue_->overflow_pending()) {
       // Recovered tasks parked in the overflow stash are live work the
       // queue cannot see; keep our vote black until they drain.
+      td_->mark_self_black();
+    }
+    if (pending_hook_ && pending_hook_()) {
+      // Rank-local deferred work (parked dataflow nodes): in no queue, so
+      // termination detection cannot see it -- vote black until it runs.
       td_->mark_self_black();
     }
     if (td_->step() == TerminationDetector::Status::Terminated) {

@@ -170,6 +170,25 @@ class TaskCollection {
   /// May be toggled (collectively) between phases.
   void set_load_balancing(bool enabled) { cfg_.load_balancing = enabled; }
 
+  // ---- Scheduler-extension hooks (single consumer; the DAG engine in
+  // src/dag installs these around its execute()). Both are rank-local:
+  // each rank's TaskCollection instance calls only its own hooks from its
+  // own process() loop, so no synchronization is involved. Pass nullptr
+  // (the default) to uninstall; with no hooks installed process() behaves
+  // -- and traces -- exactly as before.
+  /// Called in the idle section of process(); returns the number of tasks
+  /// it injected into the local queue (parked dataflow nodes whose gates
+  /// opened). A non-zero return marks this rank's termination vote black.
+  void set_idle_hook(std::function<std::uint64_t()> fn) {
+    idle_hook_ = std::move(fn);
+  }
+  /// Checked before each termination-detection step; returning true
+  /// reports rank-local deferred work invisible to the queues (parked
+  /// nodes), forcing a black vote so no wave concludes over it.
+  void set_pending_hook(std::function<bool()> fn) {
+    pending_hook_ = std::move(fn);
+  }
+
   // ---- Statistics ----
   /// This rank's counters from the last process() call.
   const TcStats& stats_local() const {
@@ -218,6 +237,9 @@ class TaskCollection {
   std::vector<std::vector<Rank>> wards_;
   /// Alive ranks other than me: the fault-aware victim pool.
   std::vector<std::vector<Rank>> alive_others_;
+  /// Scheduler-extension hooks (see set_idle_hook / set_pending_hook).
+  std::function<std::uint64_t()> idle_hook_;
+  std::function<bool()> pending_hook_;
   bool live_ = true;
 };
 

@@ -73,6 +73,10 @@ const char* ev_category(Ev kind) {
     case Ev::ConfirmDead:
     case Ev::FenceAbort:
       return "detect";
+    case Ev::NodeReady:
+    case Ev::NodeRun:
+    case Ev::ConflictRetry:
+      return "dag";
   }
   return "?";
 }
@@ -215,6 +219,22 @@ void emit_event(std::ostream& os, const Event& e) {
       emit_head(os, e, ev_name(e.kind), "i", e.t);
       os << ",\"s\":\"t\",\"args\":{\"adopter\":" << e.a
          << ",\"epoch\":" << e.b << "}}";
+      return;
+    case Ev::NodeReady:
+      emit_head(os, e, ev_name(e.kind), "i", e.t);
+      os << ",\"s\":\"t\",\"args\":{\"node\":" << e.a
+         << ",\"home\":" << e.b << ",\"depth\":" << e.c << "}}";
+      return;
+    case Ev::NodeRun:
+      emit_head(os, e, ev_name(e.kind), "i", e.t);
+      os << ",\"s\":\"t\",\"args\":{\"node\":" << e.a
+         << ",\"group\":" << e.b << ",\"depth\":" << e.c << "}}";
+      return;
+    case Ev::ConflictRetry:
+      emit_head(os, e, ev_name(e.kind), "i", e.t);
+      os << ",\"s\":\"t\",\"args\":{\"node\":" << e.a
+         << ",\"reason\":\"" << (e.b == 1 ? "version" : "lock")
+         << "\",\"group\":" << e.c << "}}";
       return;
   }
 }

@@ -79,6 +79,12 @@ const char* ev_name(Ev kind) {
       return "confirm_dead";
     case Ev::FenceAbort:
       return "fence_abort";
+    case Ev::NodeReady:
+      return "node_ready";
+    case Ev::NodeRun:
+      return "node_run";
+    case Ev::ConflictRetry:
+      return "conflict_retry";
   }
   return "?";
 }

@@ -80,6 +80,13 @@ enum class Ev : std::uint8_t {
   ConfirmDead,    // a=confirmed-dead rank, c=silence at confirmation (ns)
   FenceAbort,     // a=fence adopter rank, b=fence epoch (owner woke up,
                   //   observed an adoption fence, aborted its work loop)
+  // DAG scheduler events (src/dag). Appended so DAG-off traces stay
+  // byte-identical to pre-dag baselines.
+  NodeReady,      // a=node id (low 32 bits), b=home rank, c=depth (-1 if
+                  //   unknown, e.g. dynamic nodes fired by a non-creator)
+  NodeRun,        // a=node id (low 32 bits), b=conflict group, c=depth
+  ConflictRetry,  // a=node id (low 32 bits), b=reason (0=group lock busy,
+                  //   1=version wait), c=conflict group (-1 for version)
 };
 
 /// Human-readable kind name (used by the exporter and analyses).
