@@ -47,6 +47,10 @@ const char* ctr_name(Ctr c) {
     case Ctr::DagConflictRetries: return "dag_conflict_retries";
     case Ctr::DagVersionWaits:  return "dag_version_waits";
     case Ctr::DagRemoteFires:   return "dag_remote_fires";
+    case Ctr::StealLockBusy:    return "steal_lock_busy";
+    case Ctr::CtlEpochs:        return "ctl_epochs";
+    case Ctr::CtlDecisions:     return "ctl_decisions";
+    case Ctr::CtlInherits:      return "ctl_inherits";
     case Ctr::kCount:           break;
   }
   return "?";
@@ -61,6 +65,11 @@ const char* gauge_name(Gauge g) {
     case Gauge::SuspectsView: return "suspects_view";
     case Gauge::DagParked:    return "dag_parked";
     case Gauge::DagDepthMax:  return "dag_depth_max";
+    case Gauge::CtlChunk:     return "ctl_chunk";
+    case Gauge::CtlStealHalf: return "ctl_steal_half";
+    case Gauge::CtlRelease:   return "ctl_release";
+    case Gauge::CtlRetarget:  return "ctl_retarget";
+    case Gauge::CtlVictimSet: return "ctl_victim_set";
     case Gauge::kCount:       break;
   }
   return "?";
@@ -195,6 +204,18 @@ void hist_record(Rank r, Hist h, std::uint64_t v) {
   if (v > slot_load(p, mx)) slot_store(p, mx, v);
   slot_store(p, bkt, slot_load(p, bkt) + 1);
   wr_end(p);
+}
+
+std::uint64_t own_ctr(Rank r, Ctr c) {
+  if (!in_session(r)) return 0;
+  return slot_load(patch(r),
+                   kCtrBase + static_cast<std::size_t>(static_cast<int>(c)));
+}
+
+std::uint64_t own_gauge(Rank r, Gauge g) {
+  if (!in_session(r)) return 0;
+  return slot_load(patch(r),
+                   kGaugeBase + static_cast<std::size_t>(static_cast<int>(g)));
 }
 
 bool scrape(Rank r, Snapshot* out, int max_retries) {

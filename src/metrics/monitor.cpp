@@ -56,9 +56,13 @@ struct MonState {
   int nranks = 0;
   std::FILE* out = nullptr;
   std::function<RankState(Rank)> liveness;
+  // Control-plane hooks; installed by control::start, survive
+  // monitor_stop so install/arming order does not matter.
+  std::function<void(const FleetSample&)> sample_hook;
+  std::function<std::string(Rank)> knobs_text;
   std::vector<FleetSample> samples;
   std::mutex mu;  // guards sample emission + the series + the sink
-  TimeNs next_due = 0;
+  std::atomic<TimeNs> next_due{0};
   bool poll_driven = true;
   int live_lines = 0;
   bool tty = false;
@@ -102,9 +106,11 @@ void render_live(MonState& m, const FleetSample& s) {
     int fill = static_cast<int>((r.depth * 24) / maxd);
     for (int i = 0; i < 24; ++i) bar[i] = i < fill ? '#' : ' ';
     bar[24] = '\0';
+    std::string knobs = m.knobs_text ? m.knobs_text(r.r) : std::string();
     std::printf("\x1b[K  r%-3d %s [%s] depth=%5" PRIu64 " (sh %4" PRIu64
-                ") exec=%8" PRIu64 " steals=%6" PRIu64 "\n",
-                r.r, st, bar, r.depth, r.shared, r.executed, r.steals);
+                ") exec=%8" PRIu64 " steals=%6" PRIu64 "%s%s\n",
+                r.r, st, bar, r.depth, r.shared, r.executed, r.steals,
+                knobs.empty() ? "" : "  ", knobs.c_str());
     ++lines;
   }
   std::fflush(stdout);
@@ -179,6 +185,7 @@ int sample_locked(MonState& m, TimeNs now) {
   s.gini = gini_index(alive_depths);
   s.steal_success =
       s.steal_attempts ? double(s.steals) / double(s.steal_attempts) : 0.0;
+  if (m.sample_hook) m.sample_hook(s);
   append_jsonl(m, s);
   if (m.opts.live) render_live(m, s);
   m.samples.push_back(std::move(s));
@@ -257,24 +264,33 @@ void monitor_set_liveness(std::function<RankState(Rank)> fn) {
   mon().liveness = std::move(fn);
 }
 
+void monitor_set_sample_hook(std::function<void(const FleetSample&)> fn) {
+  std::lock_guard<std::mutex> lk(mon().mu);
+  mon().sample_hook = std::move(fn);
+}
+
+void monitor_set_knobs_text(std::function<std::string(Rank)> fn) {
+  std::lock_guard<std::mutex> lk(mon().mu);
+  mon().knobs_text = std::move(fn);
+}
+
 void monitor_poll(Rank me, TimeNs now) {
+  (void)me;
   if (!monitor_active()) return;
   MonState& m = mon();
   if (!m.poll_driven) return;
-  // The lowest not-confirmed-dead rank is the designated sampler; the
-  // designation migrates deterministically when the sampler dies.
-  Rank sampler = 0;
-  {
-    std::lock_guard<std::mutex> lk(m.mu);
-    for (; sampler < m.nranks; ++sampler) {
-      if (!m.liveness || m.liveness(sampler) != RankState::Dead) break;
-    }
-  }
-  if (me != sampler) return;
+  // First rank past the deadline takes the sample -- the closest poll-
+  // driven emulation of an out-of-band monitor, whose cadence must not
+  // depend on any single rank's scheduling (a designated sampler buried
+  // in a long task would blind the fleet exactly when one rank hogging
+  // the work is the thing worth sampling). Deterministic under sim: the
+  // cooperative fiber schedule fixes which rank crosses the deadline
+  // first. The common miss path is one relaxed load, no lock.
+  if (now < m.next_due.load(std::memory_order_relaxed)) return;
   std::lock_guard<std::mutex> lk(m.mu);
-  if (now < m.next_due) return;
+  if (now < m.next_due.load(std::memory_order_relaxed)) return;
   sample_locked(m, now);
-  m.next_due = now + m.opts.period;
+  m.next_due.store(now + m.opts.period, std::memory_order_relaxed);
 }
 
 int monitor_sample(TimeNs now) {

@@ -80,6 +80,19 @@ void monitor_stop();
 /// by the detector's membership view.
 void monitor_set_liveness(std::function<RankState(Rank)> fn);
 
+/// Installs a hook invoked with every FleetSample right after it is
+/// computed (before it is appended to the series), from the sampler's
+/// context. This is how the control plane (src/control) observes the
+/// fleet without the monitor linking upward: the local controllers read
+/// the digest the hook publishes, and the global controller *is* the
+/// hook. Survives monitor_stop/start; pass nullptr to uninstall.
+void monitor_set_sample_hook(std::function<void(const FleetSample&)> fn);
+
+/// Installs a per-rank renderer for the live dashboard's knobs column
+/// (empty string = no column). The control plane installs one that
+/// prints the rank's current published KnobSet. Pass nullptr to remove.
+void monitor_set_knobs_text(std::function<std::string(Rank)> fn);
+
 /// Pump from a rank's work loop (sim backend). Only the lowest-alive rank
 /// samples, and only once `now` passes the next deadline; everyone else
 /// pays one relaxed load. No-op when the monitor is thread-driven.

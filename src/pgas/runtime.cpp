@@ -6,6 +6,7 @@
 #include <cstring>
 
 #include "base/log.hpp"
+#include "control/control.hpp"
 #include "detect/membership.hpp"
 #include "metrics/metrics.hpp"
 #include "metrics/monitor.hpp"
@@ -599,6 +600,33 @@ RunResult run_spmd(const Config& cfg,
     detect::start(cfg.nranks);
   }
 
+#if SCIOTO_CONTROL_ENABLED
+  // SCIOTO_CONTROLLER=off|local|global arms the adaptive control plane.
+  // Mode, epoch period, and rule thresholds come from the staged
+  // control::config() (C API) with env overrides. The controller reads the
+  // metrics plane, so arming it force-enables metrics below. A session the
+  // caller already started takes precedence.
+  control::Config ccfg = control::config();
+  if (const char* v = std::getenv("SCIOTO_CONTROLLER")) {
+    SCIOTO_REQUIRE(control::mode_from_name(v, &ccfg.mode),
+                   "SCIOTO_CONTROLLER must be off|local|global, got " << v);
+  }
+  if (const char* v = std::getenv("SCIOTO_CTL_PERIOD")) {
+    ccfg.period = fault::parse_time(v);
+  }
+  if (const char* v = std::getenv("SCIOTO_CTL_RULES")) {
+    std::string rerr;
+    SCIOTO_REQUIRE(control::Rules::parse(v, &ccfg.rules, &rerr),
+                   "bad SCIOTO_CTL_RULES: " << rerr);
+  }
+  const bool own_control =
+      ccfg.mode != control::Mode::Off && !control::active();
+#if !SCIOTO_METRICS_ENABLED
+  SCIOTO_REQUIRE(!own_control,
+                 "SCIOTO_CONTROLLER needs a build with SCIOTO_METRICS=ON");
+#endif
+#endif
+
 #if SCIOTO_METRICS_ENABLED
   // SCIOTO_METRICS=1 arms the telemetry plane (per-rank metric patches +
   // the periodic fleet monitor) for any binary. Period and sinks come from
@@ -618,6 +646,17 @@ RunResult run_spmd(const Config& cfg,
   if (const char* v = std::getenv("SCIOTO_METRICS_PROM")) {
     mcfg.prom_path = v;
   }
+#if SCIOTO_CONTROL_ENABLED
+  if (own_control) {
+    mcfg.enabled = true;  // the controller reads the metrics plane
+    if (ccfg.period < mcfg.period) {
+      // The fleet CoV digest the rule engine keys on is refreshed by the
+      // monitor tick; a sampler slower than the decision cadence would
+      // leave the controller reacting to stale imbalance.
+      mcfg.period = ccfg.period;
+    }
+  }
+#endif
   const bool own_metrics = mcfg.enabled && !metrics::active();
   if (own_metrics) {
     metrics::start(cfg.nranks);
@@ -633,6 +672,15 @@ RunResult run_spmd(const Config& cfg,
       return metrics::RankState::Alive;
     });
   }
+#if SCIOTO_CONTROL_ENABLED
+  if (own_control) {
+    // After monitor_start so the monitor hooks (planner tick, dashboard
+    // knob text) land in an armed monitor; works equally against a
+    // caller-owned metrics session.
+    control::set_config(ccfg);
+    control::start(cfg.nranks, ccfg);
+  }
+#endif
 #endif
 
   auto wrap = [&](Runtime& rt, Rank r) {
@@ -675,6 +723,13 @@ RunResult run_spmd(const Config& cfg,
 #endif
 
 #if SCIOTO_METRICS_ENABLED
+#if SCIOTO_CONTROL_ENABLED
+  if (own_control) {
+    // Before the metrics teardown: stop() detaches the monitor hooks but
+    // keeps the decision log for post-run inspection.
+    control::stop();
+  }
+#endif
   if (own_metrics) {
     if (!mcfg.prom_path.empty()) {
       std::FILE* f = std::fopen(mcfg.prom_path.c_str(), "w");

@@ -28,6 +28,10 @@ SplitQueue::SplitQueue(pgas::Runtime& rt, Config cfg)
                  "slot_bytes too small: " << cfg_.slot_bytes);
   SCIOTO_REQUIRE(cfg_.capacity >= 2, "capacity too small: " << cfg_.capacity);
   SCIOTO_REQUIRE(cfg_.chunk >= 1, "chunk must be >= 1, got " << cfg_.chunk);
+  // chunk_max = 0 means no headroom: the layout (and so every index and
+  // trace) is identical to a pre-control build. Collective by contract.
+  chunk_max_ = cfg_.chunk_max > cfg_.chunk ? cfg_.chunk_max : cfg_.chunk;
+  cfg_.chunk_max = chunk_max_;
   cfg_.slot_bytes = align_up(cfg_.slot_bytes, 8);  // word-wise wf copies
   ft_ = fault::active();
   SCIOTO_REQUIRE(!(ft_ && cfg_.mode == QueueMode::WaitFreeSteal),
@@ -41,14 +45,14 @@ SplitQueue::SplitQueue(pgas::Runtime& rt, Config cfg)
                  "fault tolerance supports at most 65534 ranks: the "
                  "adoption lease packs the adopter rank into 16 bits");
   internal_cap_ = cfg_.capacity + static_cast<std::uint64_t>(rt.nprocs()) +
-                  2 * static_cast<std::uint64_t>(cfg_.chunk);
+                  2 * static_cast<std::uint64_t>(chunk_max_);
   const std::size_t nranks = static_cast<std::size_t>(rt.nprocs());
   slots_off_ = sizeof(Ctl);
   if (ft_) {
     txn_off_ = sizeof(Ctl);
     buf_off_ = txn_off_ + nranks * sizeof(TxnRecord);
     slots_off_ = buf_off_ + nranks *
-                               static_cast<std::size_t>(cfg_.chunk) *
+                               static_cast<std::size_t>(chunk_max_) *
                                cfg_.slot_bytes;
   }
   seg_ = rt_.seg_alloc(slots_off_ + internal_cap_ * cfg_.slot_bytes);
@@ -68,7 +72,7 @@ SplitQueue::SplitQueue(pgas::Runtime& rt, Config cfg)
   counters_.resize(nranks);
   reacquire_bufs_.resize(nranks);
   for (auto& buf : reacquire_bufs_) {
-    buf.resize(static_cast<std::size_t>(cfg_.chunk) * cfg_.slot_bytes);
+    buf.resize(static_cast<std::size_t>(chunk_max_) * cfg_.slot_bytes);
   }
   overflow_.resize(nranks);
   rt_.barrier();
@@ -94,7 +98,7 @@ SplitQueue::TxnRecord& SplitQueue::txn(Rank victim, Rank thief) {
 std::byte* SplitQueue::txn_buf(Rank victim, Rank thief) {
   return rt_.seg_ptr(seg_, victim) + buf_off_ +
          static_cast<std::size_t>(thief) *
-             static_cast<std::size_t>(cfg_.chunk) * cfg_.slot_bytes;
+             static_cast<std::size_t>(cfg_.chunk_max) * cfg_.slot_bytes;
 }
 
 std::uint64_t SplitQueue::steal_boundary(const Ctl& c) const {
@@ -357,7 +361,10 @@ std::uint64_t SplitQueue::reacquire() {
         // from the validation load -- any earlier thief's store is
         // ordered before the next lock holder's index reads, hence before
         // ours. The margin check makes the single unpublished chunk safe.
-        const auto chunk = static_cast<std::uint64_t>(cfg_.chunk);
+        // The margin uses chunk_max, not the live chunk: the in-flight
+        // thief steals at its OWN live width, which we cannot see but
+        // which its KnobSet clamps to the collective chunk_max.
+        const auto chunk = static_cast<std::uint64_t>(chunk_max_);
         std::uint64_t sh = c.steal_head.load(std::memory_order_seq_cst);
         std::uint64_t sp = c.split.load(std::memory_order_relaxed);
         std::uint64_t avail = sp > sh ? sp - sh : 0;
@@ -420,8 +427,8 @@ std::uint64_t SplitQueue::release_maybe() {
   }
   Ctl& c = ctl(rt_.me());
   std::uint64_t priv = private_size();
-  if (priv <= cfg_.release_threshold ||
-      shared_size() >= static_cast<std::uint64_t>(cfg_.chunk)) {
+  if (priv <= live_release_threshold() ||
+      shared_size() >= static_cast<std::uint64_t>(live_chunk())) {
     return 0;
   }
   std::uint64_t give;
@@ -494,12 +501,15 @@ void SplitQueue::copy_span_raw(Rank victim, std::uint64_t first,
 }
 
 std::uint64_t SplitQueue::steal_width(std::uint64_t avail) const {
-  const auto chunk = static_cast<std::uint64_t>(cfg_.chunk);
-  if (!cfg_.adaptive_chunk) {
+  // Thief-side policy: the *caller's* live knobs decide how much to take
+  // (the victim never constrains width beyond what is visible/available).
+  const auto chunk = static_cast<std::uint64_t>(live_chunk());
+  if (!live_steal_half()) {
     return std::min(avail, chunk);
   }
-  // Steal-half: take ceil(avail / 2), capped at the chunk the caller's
-  // buffers (and the fault-mode transaction log) are sized for.
+  // Steal-half: take ceil(avail / 2), capped at the live chunk, which the
+  // KnobSet in turn clamps to the chunk_max the caller's buffers (and the
+  // fault-mode transaction log) are sized for.
   return std::min((avail + 1) / 2, chunk);
 }
 
@@ -528,6 +538,7 @@ int SplitQueue::steal_from_locked(Rank victim, std::byte* out) {
     if (!rt_.trylock(locks_, victim)) {
       counters().steals_lock_busy++;
       SCIOTO_TRACE_EVENT(me, trace::Ev::StealBusy, victim, 0, 0);
+      SCIOTO_METRIC_CTR(me, metrics::Ctr::StealLockBusy, 1);
       return kStealBusy;
     }
   } else {
@@ -744,8 +755,10 @@ std::uint64_t SplitQueue::drain_dead(Rank dead) {
   std::byte* buf = reacquire_bufs_[static_cast<std::size_t>(me)].data();
   std::uint64_t idx = sh;
   while (idx < pt) {
+    // Batch by the buffer's capacity (chunk_max), not the live policy
+    // chunk: adoption drains everything regardless of steal tuning.
     std::uint64_t n = std::min<std::uint64_t>(
-        pt - idx, static_cast<std::uint64_t>(cfg_.chunk));
+        pt - idx, static_cast<std::uint64_t>(chunk_max_));
     copy_out_span(dead, idx, n, buf);
     idx += n;
     for (std::uint64_t i = 0; i < n; ++i) {
@@ -895,7 +908,7 @@ int SplitQueue::steal_from_waitfree(Rank victim, std::byte* out) {
     std::uint64_t bd = c.split.load(std::memory_order_acquire);
     std::uint64_t avail = bd > sh ? bd - sh : 0;
     std::uint64_t n = std::min<std::uint64_t>(
-        avail, static_cast<std::uint64_t>(cfg_.chunk));
+        avail, static_cast<std::uint64_t>(live_chunk()));
     if (n == 0) {
       return 0;
     }

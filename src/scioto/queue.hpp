@@ -62,6 +62,7 @@
 #include <atomic>
 #include <cstdint>
 
+#include "control/knobs.hpp"
 #include "metrics/metrics.hpp"
 #include "pgas/runtime.hpp"
 
@@ -83,8 +84,22 @@ class SplitQueue {
     std::size_t slot_bytes = 64;
     /// Per-rank capacity in tasks (the paper's max_tasks).
     std::uint64_t capacity = 1 << 16;
-    /// Steal granularity in tasks (the paper's chunk_size).
+    /// Steal granularity in tasks (the paper's chunk_size). With a live
+    /// KnobSet attached this is only the *initial* value.
     int chunk = 10;
+    /// Upper bound for the live steal-chunk knob. Steal/reacquire buffers
+    /// and the fault-mode transaction log are sized for this at
+    /// construction, so the control plane can raise the chunk at runtime
+    /// without reallocation. 0 means "= chunk" (no headroom), which keeps
+    /// control-off layouts and traces byte-identical to pre-control runs.
+    /// Collective: must match across ranks (it shapes the patch layout).
+    int chunk_max = 0;
+    /// Live knobs this queue reads through on every policy decision
+    /// (steal width, steal-half, release threshold). When null the static
+    /// config fields above apply, read once per decision as before. The
+    /// pointed-to KnobSet must outlive the queue and is only ever written
+    /// from the owning rank's context (see control/knobs.hpp).
+    const control::KnobSet* knobs = nullptr;
     QueueMode mode = QueueMode::Split;
     /// Owner releases work when private > release_threshold tasks and the
     /// shared portion has fewer than `chunk` tasks.
@@ -295,8 +310,24 @@ class SplitQueue {
   /// charge (deferred_steal_copy pays the wire time after unlock).
   void copy_span_raw(Rank victim, std::uint64_t first, std::uint64_t count,
                      std::byte* out);
-  /// Steal width: fixed cfg.chunk, or ceil(avail/2) capped at cfg.chunk
-  /// when adaptive_chunk is set.
+  /// Live knob reads: through cfg_.knobs when attached (the control
+  /// plane's hot-swappable values), else the static config fields.
+  int live_chunk() const {
+    return cfg_.knobs ? static_cast<int>(
+                            cfg_.knobs->get(control::Knob::StealChunk))
+                      : cfg_.chunk;
+  }
+  bool live_steal_half() const {
+    return cfg_.knobs ? cfg_.knobs->get(control::Knob::StealHalf) != 0
+                      : cfg_.adaptive_chunk;
+  }
+  std::uint64_t live_release_threshold() const {
+    return cfg_.knobs ? static_cast<std::uint64_t>(cfg_.knobs->get(
+                            control::Knob::ReleaseThreshold))
+                      : cfg_.release_threshold;
+  }
+  /// Steal width: fixed live chunk, or ceil(avail/2) capped at the live
+  /// chunk when steal-half is on.
   std::uint64_t steal_width(std::uint64_t avail) const;
   /// Word-wise relaxed-atomic copy of one slot: safe to race with a
   /// concurrent overwrite because the caller discards the data when its
@@ -316,6 +347,10 @@ class SplitQueue {
 
   pgas::Runtime& rt_;
   Config cfg_;
+  /// Normalized cfg_.chunk_max (>= chunk). Everything sized at
+  /// construction -- buffers, txn log, internal capacity headroom, the
+  /// owner-fastpath margin -- uses this bound, never the live chunk.
+  int chunk_max_ = 0;
   /// Internal capacity adds headroom so concurrent remote adds (bounded by
   /// nranks) cannot overflow between an owner's stale capacity check and
   /// its slot write.

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "control/control.hpp"
 #include "fault/fault.hpp"
 #include "metrics/metrics.hpp"
 #include "scioto/task_collection.hpp"
@@ -361,6 +362,86 @@ int scioto_metrics_read_rank(int rank, const char* name, uint64_t* value) {
   int rc = scioto_metrics_read(s, name, value);
   scioto_metrics_snapshot_free(s);
   return rc;
+}
+
+const char* scioto_ctl_mode(void) {
+  return scioto::control::mode_name(scioto::control::config().mode);
+}
+
+int scioto_ctl_mode_set(const char* mode) {
+  scioto::control::Mode m;
+  if (mode == nullptr || !scioto::control::mode_from_name(mode, &m)) {
+    return -1;
+  }
+  scioto::control::Config c = scioto::control::config();
+  c.mode = m;
+  scioto::control::set_config(c);
+  return 0;
+}
+
+int64_t scioto_ctl_period_ns(void) {
+  return scioto::control::config().period;
+}
+
+void scioto_ctl_set_period_ns(int64_t period_ns) {
+  SCIOTO_REQUIRE(period_ns > 0,
+                 "scioto_ctl_set_period_ns: period must be > 0");
+  scioto::control::Config c = scioto::control::config();
+  c.period = period_ns;
+  scioto::control::set_config(c);
+}
+
+int scioto_ctl_rules_set(const char* spec, char* errbuf, int errbuf_len) {
+  if (errbuf != nullptr && errbuf_len > 0) {
+    errbuf[0] = '\0';
+  }
+  scioto::control::Config c = scioto::control::config();
+  if (spec == nullptr || spec[0] == '\0') {
+    c.rules = scioto::control::Rules{};
+    scioto::control::set_config(c);
+    return 0;
+  }
+  scioto::control::Rules parsed;
+  std::string err;
+  if (!scioto::control::Rules::parse(spec, &parsed, &err)) {
+    if (errbuf != nullptr && errbuf_len > 0) {
+      std::strncpy(errbuf, err.c_str(),
+                   static_cast<std::size_t>(errbuf_len) - 1);
+      errbuf[errbuf_len - 1] = '\0';
+    }
+    return -1;
+  }
+  c.rules = parsed;
+  scioto::control::set_config(c);
+  return 0;
+}
+
+void scioto_ctl_stats_get(scioto_ctl_stats_t* out) {
+  SCIOTO_REQUIRE(out != nullptr, "scioto_ctl_stats_get: NULL out");
+  scioto::control::Stats s = scioto::control::stats();
+  out->epochs = s.epochs;
+  out->decisions = s.decisions;
+  out->targets_published = s.targets_published;
+  out->inherits = s.inherits;
+}
+
+int tc_knob_get(tc_t tc, const char* name, int64_t* value) {
+  scioto::control::Knob k;
+  if (name == nullptr || value == nullptr ||
+      !scioto::control::knob_from_name(name, &k)) {
+    return -1;
+  }
+  *value = collection(tc).knob(k);
+  return 0;
+}
+
+int tc_knob_set(tc_t tc, const char* name, int64_t value) {
+  scioto::control::Knob k;
+  if (name == nullptr || !scioto::control::knob_from_name(name, &k)) {
+    return -1;
+  }
+  collection(tc).set_knob(k, value);
+  return 0;
 }
 
 }  // extern "C"

@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "base/log.hpp"
+#include "control/control.hpp"
 #include "metrics/metrics.hpp"
 #include "metrics/monitor.hpp"
 #include "trace/trace.hpp"
@@ -103,12 +104,27 @@ TaskCollection::TaskCollection(pgas::Runtime& rt, TcConfig cfg)
   SCIOTO_REQUIRE(cfg_.max_task_body >= 0, "negative max_task_body");
   SCIOTO_REQUIRE(cfg_.chunk_size >= 1, "chunk_size must be >= 1");
   SCIOTO_REQUIRE(cfg_.max_tasks_per_rank >= 2, "max_tasks_per_rank too small");
+  if (cfg_.chunk_max == 0) {
+    cfg_.chunk_max = cfg_.chunk_size;
+#if SCIOTO_CONTROL_ENABLED
+    if (control::active()) {
+      // Give the controller headroom to raise the steal chunk. active()
+      // reads collectively uniform session state, so every rank widens
+      // identically (the bound shapes the collectively allocated patch).
+      cfg_.chunk_max = std::max(cfg_.chunk_size, 64);
+    }
+#endif
+  }
+  SCIOTO_REQUIRE(cfg_.chunk_max >= cfg_.chunk_size,
+                 "chunk_max " << cfg_.chunk_max << " below chunk_size "
+                              << cfg_.chunk_size);
 
   SplitQueue::Config qc;
   qc.slot_bytes = align_up(
       sizeof(TaskHeader) + static_cast<std::size_t>(cfg_.max_task_body), 8);
   qc.capacity = static_cast<std::uint64_t>(cfg_.max_tasks_per_rank);
   qc.chunk = cfg_.chunk_size;
+  qc.chunk_max = cfg_.chunk_max;
   qc.mode = cfg_.queue_mode;
   qc.release_threshold =
       cfg_.release_threshold != 0
@@ -118,7 +134,23 @@ TaskCollection::TaskCollection(pgas::Runtime& rt, TcConfig cfg)
   qc.adaptive_chunk = cfg_.adaptive_steal;
   qc.owner_fastpath = cfg_.owner_fastpath;
   qc.deferred_steal_copy = cfg_.deferred_steal_copy;
+  // The live KnobSet seeds from the same effective values TcConfig used to
+  // hard-wire into the queue; from here on the queue and the steal path
+  // read through it, so set_knob (and the controller) retune a running
+  // collection. The vector is sized before the queue captures a pointer
+  // into it and never resized after.
+  knobs_.resize(static_cast<std::size_t>(rt_.nprocs()));
+  control::KnobSet& ks = knobs_[static_cast<std::size_t>(rt_.me())];
+  ks.init(cfg_.chunk_size, cfg_.chunk_max, cfg_.adaptive_steal,
+          cfg_.steal_retarget_max,
+          static_cast<std::int64_t>(qc.release_threshold), rt_.nprocs());
+  qc.knobs = &ks;
   queue_ = std::make_unique<SplitQueue>(rt_, qc);
+#if SCIOTO_CONTROL_ENABLED
+  if (control::active()) {
+    control::attach(rt_.me(), &ks);
+  }
+#endif
 
   TerminationDetector::Config tdc;
   tdc.color_optimization = cfg_.color_optimization;
@@ -143,7 +175,7 @@ TaskCollection::TaskCollection(pgas::Runtime& rt, TcConfig cfg)
   exec_bufs_.resize(static_cast<std::size_t>(n));
   scratch_[self].resize(qc.slot_bytes);
   steal_bufs_[self].resize(qc.slot_bytes *
-                           static_cast<std::size_t>(cfg_.chunk_size));
+                           static_cast<std::size_t>(cfg_.chunk_max));
   exec_bufs_[self].resize(qc.slot_bytes);
   rngs_.reserve(static_cast<std::size_t>(n));
   for (Rank r = 0; r < n; ++r) {
@@ -157,6 +189,11 @@ TaskCollection::TaskCollection(pgas::Runtime& rt, TcConfig cfg)
 
 void TaskCollection::destroy() {
   SCIOTO_REQUIRE(live_, "destroy of dead task collection");
+#if SCIOTO_CONTROL_ENABLED
+  if (control::active()) {
+    control::detach(rt_.me());
+  }
+#endif
   queue_->destroy();
   td_->destroy();
   if (hb_) {
@@ -175,6 +212,19 @@ TaskHandle TaskCollection::register_callback(TaskFn fn) {
 
 CloHandle TaskCollection::register_clo(void* local_instance) {
   return clos_.register_object(local_instance);
+}
+
+std::int64_t TaskCollection::set_knob(control::Knob k, std::int64_t v) {
+  control::KnobSet& ks = knobs_[static_cast<std::size_t>(rt_.me())];
+  const bool changed = ks.set(k, v);
+#if SCIOTO_CONTROL_ENABLED
+  if (changed && control::active()) {
+    control::republish(rt_.me());
+  }
+#else
+  (void)changed;
+#endif
+  return ks.get(k);
 }
 
 Task TaskCollection::task_create(std::int32_t body_bytes,
@@ -330,6 +380,15 @@ void TaskCollection::process() {
     if (SCIOTO_METRICS_ON()) {
       metrics::monitor_poll(rt_.me(), rt_.now());
     }
+#if SCIOTO_CONTROL_ENABLED
+    // Control pump: when a controller is armed, run a local decision epoch
+    // (or apply the global planner's pending targets) at period boundaries.
+    // Charge-free and virtual-time driven, so controller-off runs -- and
+    // builds with the gate off -- trace byte-identically.
+    if (control::active() && control::poll_due(rt_.me(), rt_.now())) {
+      control::poll_epoch(rt_.me(), rt_.now(), queue_->shared_size());
+    }
+#endif
     // 0. Safepoint: injected fail-stop kills fire only here and at the
     // post-steal safepoint below -- never while holding a lock.
     if (ft) {
@@ -407,7 +466,15 @@ void TaskCollection::process() {
       }
       std::uint64_t recovered = queue_->recover_open_txns();
       for (Rank d : wards_[self]) {
-        recovered += queue_->drain_dead(d);
+        std::uint64_t adopted = queue_->drain_dead(d);
+        recovered += adopted;
+#if SCIOTO_CONTROL_ENABLED
+        if (adopted > 0 && control::active()) {
+          // Adopted work inherits the victim's last published knobs: the
+          // dead rank's tuning reflected the workload the tasks came from.
+          control::inherit(rt_.me(), d);
+        }
+#endif
       }
       recovered += queue_->flush_overflow();
       if (recovered > 0) {
@@ -465,6 +532,51 @@ void TaskCollection::process() {
         if (ft && victim != kNoRank && !detect::alive(victim)) {
           victim = kNoRank;  // node bias picked a dead rank; resample
         }
+        // Restricted victim set (control plane): with the victim_set knob
+        // at k > 0, aim at the k deepest ranks from the monitor digest
+        // (the controller sets this under sustained imbalance -- blind
+        // uniform choice finds one deep rank among n with probability
+        // 1/(n-1), and every miss inflates the steal backoff). Without a
+        // digest (knob set via the C API, no control session) fall back
+        // to the next k ranks in ring order. The extra RNG draw happens
+        // only when the knob is armed, so default-config runs consume the
+        // stream exactly as before. A dead pick under fault tolerance
+        // falls through to the alive-pool sampling below.
+        const int vset = static_cast<int>(
+            knobs_[self].get(control::Knob::VictimSetSize));
+        if (victim == kNoRank && vset > 0 && n > 1) {
+          Rank pool[control::kMaxHotVictims];
+          int npool = 0;
+#if SCIOTO_CONTROL_ENABLED
+          Rank hot[control::kMaxHotVictims];
+          int nhot = control::hot_victims(hot);
+          for (int i = 0; i < nhot && npool < vset; ++i) {
+            if (hot[i] == rt_.me()) continue;
+            if (ft && !detect::alive(hot[i])) continue;
+            pool[npool++] = hot[i];
+          }
+#endif
+          if (npool > 0) {
+            std::uint64_t off =
+                rng.next_below(static_cast<std::uint64_t>(npool));
+            Rank cand = pool[off];
+            if (cand == avoid && npool > 1) {
+              cand = pool[(off + 1) % static_cast<std::uint64_t>(npool)];
+            }
+            return cand;
+          }
+          std::uint64_t off =
+              rng.next_below(static_cast<std::uint64_t>(vset));
+          Rank cand = static_cast<Rank>(
+              (rt_.me() + 1 + static_cast<Rank>(off)) % n);
+          if (cand == avoid && vset > 1) {
+            cand = static_cast<Rank>(
+                (rt_.me() + 1 + static_cast<Rank>((off + 1) % vset)) % n);
+          }
+          if (!ft || detect::alive(cand)) {
+            return cand;
+          }
+        }
         if (victim == kNoRank) {
           if (ft) {
             // Sample among live ranks only; stealing from the dead is the
@@ -511,8 +623,10 @@ void TaskCollection::process() {
           }
           // Aborted on a held lock: back off briefly (seeded + capped, so
           // sim replays stay bit-deterministic) and aim at a different
-          // victim instead of convoying behind the current one.
-          if (retarget >= cfg_.steal_retarget_max) {
+          // victim instead of convoying behind the current one. The budget
+          // is a live knob (initialized from cfg_.steal_retarget_max).
+          if (retarget >= static_cast<int>(knobs_[self].get(
+                              control::Knob::RetargetBudget))) {
             got = 0;
             break;
           }

@@ -20,6 +20,7 @@
 
 #include "base/rng.hpp"
 #include "base/table.hpp"
+#include "control/knobs.hpp"
 #include "detect/detect.hpp"
 #include "scioto/clo.hpp"
 #include "scioto/queue.hpp"
@@ -32,8 +33,16 @@ struct TcConfig {
   /// Maximum user body size a task descriptor may carry (the paper's
   /// task_sz, bytes).
   std::int32_t max_task_body = 256;
-  /// Steal granularity in tasks (the paper's chunk_sz).
+  /// Steal granularity in tasks (the paper's chunk_sz). With the control
+  /// plane this is the *initial* value of the steal_chunk knob.
   int chunk_size = 10;
+  /// Upper bound for the live steal-chunk knob; steal buffers and the
+  /// fault-mode transaction log are sized for it at construction.
+  /// 0 = auto: chunk_size (no headroom, pre-control layouts), except when
+  /// a control session is active at construction, where it becomes
+  /// max(chunk_size, 64) so the controller has room to raise the chunk.
+  /// Collective: must match across ranks (it shapes the queue layout).
+  int chunk_max = 0;
   /// Per-rank queue capacity in tasks (the paper's max_sz).
   std::int64_t max_tasks_per_rank = 1 << 16;
   /// Queue variant: Split (the paper's design), NoSplit (the original
@@ -170,6 +179,20 @@ class TaskCollection {
   /// May be toggled (collectively) between phases.
   void set_load_balancing(bool enabled) { cfg_.load_balancing = enabled; }
 
+  // ---- Live knobs ----
+  /// This rank's live tuning parameters. The queue and the steal path read
+  /// through these on every decision, so writes take effect mid-process()
+  /// -- unlike the TcConfig fields, which only seed the initial values.
+  const control::KnobSet& knobs() const {
+    return knobs_[static_cast<std::size_t>(rt_.me())];
+  }
+  /// Current value of one knob.
+  std::int64_t knob(control::Knob k) const { return knobs().get(k); }
+  /// Clamped live write (rank-local, callable mid-run); returns the value
+  /// actually applied. Republishes to the control session's row (for the
+  /// dashboard and ward inheritance) when a controller is active.
+  std::int64_t set_knob(control::Knob k, std::int64_t v);
+
   // ---- Scheduler-extension hooks (single consumer; the DAG engine in
   // src/dag installs these around its execute()). Both are rank-local:
   // each rank's TaskCollection instance calls only its own hooks from its
@@ -228,6 +251,9 @@ class TaskCollection {
   std::vector<std::vector<std::byte>> scratch_;
   std::vector<Xoshiro256> rngs_;
   std::vector<TcStats> stats_;
+  /// Live knobs, per rank (only the self slot is initialized, like the
+  /// buffers below); the queue holds a pointer to the self slot.
+  std::vector<control::KnobSet> knobs_;
   std::vector<std::vector<std::byte>> steal_bufs_;
   std::vector<std::vector<std::byte>> exec_bufs_;
   /// Fault-recovery state, per rank (used only with an active session).

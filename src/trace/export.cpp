@@ -77,6 +77,8 @@ const char* ev_category(Ev kind) {
     case Ev::NodeRun:
     case Ev::ConflictRetry:
       return "dag";
+    case Ev::KnobChange:
+      return "control";
   }
   return "?";
 }
@@ -235,6 +237,11 @@ void emit_event(std::ostream& os, const Event& e) {
       os << ",\"s\":\"t\",\"args\":{\"node\":" << e.a
          << ",\"reason\":\"" << (e.b == 1 ? "version" : "lock")
          << "\",\"group\":" << e.c << "}}";
+      return;
+    case Ev::KnobChange:
+      emit_head(os, e, ev_name(e.kind), "i", e.t);
+      os << ",\"s\":\"t\",\"args\":{\"knob\":" << e.a
+         << ",\"value\":" << e.b << ",\"reason\":" << e.c << "}}";
       return;
   }
 }

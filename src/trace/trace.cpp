@@ -85,6 +85,8 @@ const char* ev_name(Ev kind) {
       return "node_run";
     case Ev::ConflictRetry:
       return "conflict_retry";
+    case Ev::KnobChange:
+      return "knob_change";
   }
   return "?";
 }

@@ -87,6 +87,10 @@ enum class Ev : std::uint8_t {
   NodeRun,        // a=node id (low 32 bits), b=conflict group, c=depth
   ConflictRetry,  // a=node id (low 32 bits), b=reason (0=group lock busy,
                   //   1=version wait), c=conflict group (-1 for version)
+  // Adaptive control plane (src/control). Appended so controller-off
+  // traces stay byte-identical to pre-control baselines.
+  KnobChange,     // a=knob (control::Knob), b=applied value,
+                  //   c=reason (control::Reason)
 };
 
 /// Human-readable kind name (used by the exporter and analyses).
