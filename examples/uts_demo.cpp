@@ -22,7 +22,7 @@ int main(int argc, char** argv) {
   opts.add_int("scale", 10, "geometric depth (gen_mx) / binomial root size");
   opts.add_int("seed", 19, "tree seed");
   opts.add_string("scheduler", "scioto",
-                  "scioto | no-split | wait-free | mpi-ws");
+                  "scioto | no-split | wait-free | lockfree | mpi-ws");
   opts.add_int("chunk", 10, "steal chunk size");
   if (!opts.parse(argc, argv)) return 0;
 
@@ -54,6 +54,7 @@ int main(int argc, char** argv) {
     rc.chunk = static_cast<int>(opts.get_int("chunk"));
     rc.queue_mode = sched == "no-split"    ? QueueMode::NoSplit
                     : sched == "wait-free" ? QueueMode::WaitFreeSteal
+                    : sched == "lockfree"  ? QueueMode::LockFree
                                            : QueueMode::Split;
     if (sched == "mpi-ws") {
       res = uts_run_mpi_ws(rt, tree, rc);

@@ -10,6 +10,14 @@
 
 namespace scioto {
 
+namespace {
+// Lockfree steal retry backoff step: a lost CAS backs off by this much
+// times the attempt number before re-claiming, so contending thieves
+// fall out of lock-step instead of re-running the whole field each
+// round. ~ one NIC service slot on the calibrated cluster model.
+constexpr TimeNs kStealBackoffNs = 6000;
+}  // namespace
+
 const char* queue_mode_name(QueueMode mode) {
   switch (mode) {
     case QueueMode::Split:
@@ -18,6 +26,8 @@ const char* queue_mode_name(QueueMode mode) {
       return "no-split";
     case QueueMode::WaitFreeSteal:
       return "wait-free";
+    case QueueMode::LockFree:
+      return "lockfree";
   }
   return "?";
 }
@@ -37,6 +47,18 @@ SplitQueue::SplitQueue(pgas::Runtime& rt, Config cfg)
   SCIOTO_REQUIRE(!(ft_ && cfg_.mode == QueueMode::WaitFreeSteal),
                  "fault tolerance requires locked steals: wait-free mode "
                  "has no lock to anchor the steal transaction");
+  // Same anchoring problem, one protocol further out: a lock-free thief
+  // publishes its claim with an unlocked CAS, so there is no critical
+  // section in which to log the stolen chunk into the victim-side
+  // transaction buffer before the claim becomes visible -- a thief death
+  // between CAS and requeue would lose the chunk. Rejected at init
+  // (fail-fast, pinned by tests/test_fault.cpp) rather than silently
+  // falling back to the locked mode.
+  SCIOTO_REQUIRE(!(ft_ && cfg_.mode == QueueMode::LockFree),
+                 "fault tolerance requires locked steals: lockfree mode "
+                 "(SCIOTO_QUEUE=lockfree) publishes claims with an unlocked "
+                 "CAS and cannot anchor the steal-transaction log; use "
+                 "SCIOTO_QUEUE=locked or aborting with fault plans");
   // The adoption lease packs (epoch << 16) | (adopter + 1) into one CAS-able
   // word; a rank id that spills past 16 bits would corrupt the epoch field
   // the rival-ward comparison keys off. (Epochs bump only on deaths and
@@ -122,7 +144,7 @@ std::uint64_t SplitQueue::private_size() const {
 std::uint64_t SplitQueue::shared_size() const {
   const Ctl& c = const_cast<SplitQueue*>(this)->ctl(rt_.me());
   std::uint64_t sp = c.split.load(std::memory_order_relaxed);
-  std::uint64_t sh = c.steal_head.load(std::memory_order_relaxed);
+  std::uint64_t sh = sh_idx(c.steal_head.load(std::memory_order_relaxed));
   return sp > sh ? sp - sh : 0;
 }
 
@@ -184,11 +206,18 @@ SplitQueue::PushOutcome SplitQueue::try_push_local(const std::byte* task,
       // slot -- the ward may be copying the ring out right now.
       return PushOutcome::Fenced;
     }
-    std::uint64_t sh = c.steal_head.load(std::memory_order_acquire);
+    std::uint64_t sh = sh_idx(c.steal_head.load(std::memory_order_acquire));
     if (pt - sh >= cfg_.capacity) {
       return PushOutcome::Full;
     }
-    std::memcpy(slot(me, pt), task, cfg_.slot_bytes);
+    if (cfg_.mode == QueueMode::LockFree) {
+      // A stale lock-free thief may still be speculatively reading a slot
+      // that physically aliases this one across a full ring wrap; make the
+      // race benign (its claim cannot succeed -- the tag moved on).
+      store_slot_relaxed(me, pt, task);
+    } else {
+      std::memcpy(slot(me, pt), task, cfg_.slot_bytes);
+    }
     if (ft_) {
       // The CAS arbitrates against a ward freezing priv_tail mid-adoption
       // (priv_tail has no other concurrent writer): the freeze installs
@@ -215,13 +244,17 @@ SplitQueue::PushOutcome SplitQueue::try_push_local(const std::byte* task,
   // Even the owner uses the remote-add publication protocol so the slot
   // is never visible half-written (wait-free thieves validate only
   // against steal_head).
-  if (cfg_.mode == QueueMode::WaitFreeSteal) {
-    bool ok = add_remote_waitfree(me, task);
+  if (cfg_.mode == QueueMode::WaitFreeSteal ||
+      cfg_.mode == QueueMode::LockFree) {
+    bool ok = cfg_.mode == QueueMode::WaitFreeSteal
+                  ? add_remote_waitfree(me, task)
+                  : add_remote_lockfree(me, task);
     if (ok) {
       rt_.charge(rt_.machine().local_insert);
       SCIOTO_TRACE_EVENT(me, trace::Ev::Push, affinity, 0,
                          c.priv_tail.load(std::memory_order_relaxed) -
-                             c.steal_head.load(std::memory_order_relaxed));
+                             sh_idx(c.steal_head.load(
+                                 std::memory_order_relaxed)));
       metrics_owner_op(metrics::Hist::PushNs, t0);
     }
     return ok ? PushOutcome::Ok : PushOutcome::Full;
@@ -306,7 +339,8 @@ bool SplitQueue::pop_local(std::byte* out) {
   rt_.charge(rt_.machine().local_get);
   counters().pops++;
   SCIOTO_TRACE_EVENT(me, trace::Ev::Pop, 0, 0,
-                     (pt - 1) - c.steal_head.load(std::memory_order_relaxed));
+                     (pt - 1) - sh_idx(c.steal_head.load(
+                                    std::memory_order_relaxed)));
   SCIOTO_METRIC_CTR(me, metrics::Ctr::QPops, 1);
   metrics_owner_op(metrics::Hist::PopNs, t0);
   return true;
@@ -339,6 +373,68 @@ std::uint64_t SplitQueue::reacquire() {
         SCIOTO_TRACE_EVENT(me, trace::Ev::Reacquire, got, 0,
                            c.priv_tail.load(std::memory_order_relaxed) -
                                c.steal_head.load(std::memory_order_relaxed));
+        SCIOTO_METRIC_CTR(me, metrics::Ctr::QReacquires, 1);
+        SCIOTO_METRIC_CTR(me, metrics::Ctr::QReacquiredTasks, got);
+        metrics_queue_gauges();
+      }
+      return static_cast<std::uint64_t>(got);
+    }
+
+    case QueueMode::LockFree: {
+      // No lock exists to serialize a split lowering against in-flight
+      // thieves, so the owner has exactly two tools: the validated
+      // seq_cst publish (the Split-mode fastpath, margin-checked against
+      // the one stale claim that can land past the validation load -- see
+      // DESIGN.md for why seq_cst total order bounds it to one), and the
+      // thieves' own CAS path. Deep shared portion: publish. Thin shared
+      // portion -- including the single-element owner-vs-thief race --
+      // fall back to self-stealing through the CAS, i.e. the standard
+      // Chase-Lev "owner CASes top" arbitration: exactly one of owner and
+      // thief wins each contested task.
+      const auto margin = static_cast<std::uint64_t>(chunk_max_);
+      std::uint64_t sh = sh_idx(c.steal_head.load(std::memory_order_seq_cst));
+      std::uint64_t sp = c.split.load(std::memory_order_relaxed);
+      std::uint64_t avail = sp > sh ? sp - sh : 0;
+      if (avail == 0) {
+        return 0;
+      }
+      if (avail >= 2 * margin) {
+        std::uint64_t take = avail - avail / 2;  // ceil(avail / 2)
+        std::uint64_t new_sp = sp - take;
+        c.split.store(new_sp, std::memory_order_seq_cst);
+        std::atomic_thread_fence(std::memory_order_seq_cst);
+        std::uint64_t sh2 =
+            sh_idx(c.steal_head.load(std::memory_order_seq_cst));
+        if (sh2 + margin <= new_sp) {
+          rt_.atomic_publish_charge();
+          counters().reacquires++;
+          counters().reacquires_fast++;
+          SCIOTO_TRACE_EVENT(me, trace::Ev::ReacquireFast, take, 0,
+                             c.priv_tail.load(std::memory_order_relaxed) -
+                                 sh2);
+          SCIOTO_METRIC_CTR(me, metrics::Ctr::QReacquires, 1);
+          SCIOTO_METRIC_CTR(me, metrics::Ctr::QReacquiredTasks, take);
+          metrics_queue_gauges();
+          return take;
+        }
+        // Thieves drained the margin under us; raising split back is
+        // exactly a release (always safe), then contend on the CAS.
+        c.split.store(sp, std::memory_order_seq_cst);
+      }
+      std::byte* buf = reacquire_bufs_[static_cast<std::size_t>(me)].data();
+      int got = steal_from_lockfree(me, buf);
+      for (int i = 0; i < got; ++i) {
+        bool ok = push_local(buf + static_cast<std::size_t>(i) *
+                                       cfg_.slot_bytes,
+                             kAffinityHigh);
+        SCIOTO_CHECK_MSG(ok, "overflow re-pushing self-stolen tasks");
+      }
+      if (got > 0) {
+        counters().reacquires++;
+        SCIOTO_TRACE_EVENT(me, trace::Ev::Reacquire, got, 0,
+                           c.priv_tail.load(std::memory_order_relaxed) -
+                               sh_idx(c.steal_head.load(
+                                   std::memory_order_relaxed)));
         SCIOTO_METRIC_CTR(me, metrics::Ctr::QReacquires, 1);
         SCIOTO_METRIC_CTR(me, metrics::Ctr::QReacquiredTasks, got);
         metrics_queue_gauges();
@@ -464,7 +560,8 @@ std::uint64_t SplitQueue::release_maybe() {
   counters().releases++;
   SCIOTO_TRACE_EVENT(rt_.me(), trace::Ev::Release, give, 0,
                      c.priv_tail.load(std::memory_order_relaxed) -
-                         c.steal_head.load(std::memory_order_relaxed));
+                         sh_idx(c.steal_head.load(
+                             std::memory_order_relaxed)));
   SCIOTO_METRIC_CTR(rt_.me(), metrics::Ctr::QReleases, 1);
   SCIOTO_METRIC_CTR(rt_.me(), metrics::Ctr::QReleasedTasks, give);
   metrics_queue_gauges();
@@ -476,7 +573,7 @@ std::uint64_t SplitQueue::peek_shared(Rank victim) {
   if (victim != rt_.me()) {
     rt_.rma_charge(victim, 2 * sizeof(std::uint64_t));
   }
-  std::uint64_t sh = c.steal_head.load(std::memory_order_acquire);
+  std::uint64_t sh = sh_idx(c.steal_head.load(std::memory_order_acquire));
   std::uint64_t bd = steal_boundary(c);
   return bd > sh ? bd - sh : 0;
 }
@@ -897,6 +994,144 @@ std::uint64_t SplitQueue::flush_overflow() {
   return moved;
 }
 
+void SplitQueue::store_slot_relaxed(Rank victim, std::uint64_t index,
+                                    const std::byte* src) {
+  auto* dst = reinterpret_cast<std::uint64_t*>(slot(victim, index));
+  const auto* s = reinterpret_cast<const std::uint64_t*>(src);
+  const std::size_t words = cfg_.slot_bytes / sizeof(std::uint64_t);
+  for (std::size_t w = 0; w < words; ++w) {
+    std::atomic_ref<std::uint64_t>(dst[w]).store(s[w],
+                                                 std::memory_order_relaxed);
+  }
+}
+
+int SplitQueue::steal_from_lockfree(Rank victim, std::byte* out) {
+  // Chase-Lev steal, chunked: load the tagged top word, then the split
+  // ("bottom" of the shared window), copy the chunk speculatively, and
+  // claim it with one CAS of raw -> raw + n (tag preserved: the index
+  // lives in the low 48 bits). The loads are seq_cst *in this order* --
+  // the owner's validated split-lowering depends on it: any thief whose
+  // top load is ordered after the owner's validation load must also read
+  // the lowered split, so at most one stale-split claim (width clamped to
+  // chunk_max by the KnobSet) can land past the validation, which is
+  // exactly the margin the owner checks. A failed CAS means the window
+  // moved (a thief claimed, or an add bumped the tag); retry bounded
+  // like the wait-free path, but cheaply:
+  //
+  //  * The failed CAS itself returned the current raw word, and an RMW
+  //    read is as good a top observation as a load in the seq_cst order
+  //    the margin lemma needs (observe top, THEN load split) -- so a
+  //    retry skips the index fetch and refreshes only the split word.
+  //    The split refresh is NOT optional: a retry that reused a stale
+  //    split could claim past a validated split-lowering's margin.
+  //  * The split refresh and the speculative re-copy are both plain gets
+  //    from the victim, so a retry issues them as one non-blocking pair
+  //    completed by a single wait (the re-copy width is sized from the
+  //    stale split and the claim clamped to the fresh value afterwards);
+  //    the pair is charged as one combined transfer. That takes a full
+  //    round trip off every retry relative to the serial first attempt.
+  //  * If the tag has not moved since `out` was filled, no add has
+  //    rewritten any slot -- steals only advance top, and pushes stay
+  //    above the split -- so the buffered copy is still byte-accurate
+  //    for every index >= the new top. The retry then clamps its claim
+  //    to the data it already holds instead of re-paying the chunk's
+  //    wire time (the dominant cost of a lost race on big tasks).
+  //  * Losing a claim means other thieves are mid-window; a short,
+  //    linearly growing backoff breaks the lock-step convoy where every
+  //    round re-runs the full field minus one.
+  Ctl& c = ctl(victim);
+  const bool remote = victim != rt_.me();
+  std::uint64_t raw = 0;
+  std::uint64_t bd = 0;
+  bool have_raw = false;        // raw already witnessed by a failed CAS
+  std::uint64_t copy_raw = 0;   // raw observed when `out` was filled
+  std::uint64_t copy_base = 0;  // first index held in `out`
+  std::uint64_t copy_n = 0;     // slots held in `out`
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    std::uint64_t sh;
+    std::uint64_t n;
+    bool reuse = false;
+    if (!have_raw) {
+      if (remote) {
+        rt_.rma_charge(victim, 2 * sizeof(std::uint64_t));  // fetch indices
+      }
+      raw = c.steal_head.load(std::memory_order_seq_cst);
+      sh = sh_idx(raw);
+      bd = c.split.load(std::memory_order_seq_cst);
+      std::uint64_t avail = bd > sh ? bd - sh : 0;
+      n = steal_width(avail);
+      if (n == 0) {
+        return 0;
+      }
+      // Speculative copy: may race a concurrent overwrite, but a lost CAS
+      // below discards the data, so torn reads never escape.
+      if (remote) {
+        rt_.rma_charge(victim, n * cfg_.slot_bytes);
+      }
+    } else {
+      sh = sh_idx(raw);
+      reuse = copy_n > 0 &&
+              (copy_raw >> kShTagShift) == (raw >> kShTagShift) &&
+              sh >= copy_base && sh < copy_base + copy_n;
+      // Width of the speculative re-copy, sized from the stale split
+      // (the fresh value is in flight alongside it).
+      std::uint64_t stale_avail = bd > sh ? bd - sh : 0;
+      std::uint64_t n_spec = reuse ? 0 : steal_width(stale_avail);
+      if (remote) {
+        rt_.rma_charge(victim,
+                       sizeof(std::uint64_t) + n_spec * cfg_.slot_bytes);
+      }
+      bd = c.split.load(std::memory_order_seq_cst);
+      std::uint64_t avail = bd > sh ? bd - sh : 0;
+      n = steal_width(avail);
+      if (n == 0) {
+        return 0;
+      }
+      if (reuse) {
+        n = std::min(n, copy_base + copy_n - sh);
+        counters().steal_copy_reuses++;
+      } else if (n > n_spec) {
+        // A release raised the split past the stale window mid-retry;
+        // fetch the extra slots the speculative get did not cover.
+        if (remote) {
+          rt_.rma_charge(victim, (n - n_spec) * cfg_.slot_bytes);
+        }
+      }
+    }
+    if (!reuse) {
+      for (std::uint64_t i = 0; i < n; ++i) {
+        copy_slot_relaxed(victim, sh + i,
+                          out + static_cast<std::size_t>(i) * cfg_.slot_bytes);
+      }
+      copy_raw = raw;
+      copy_base = sh;
+      copy_n = n;
+    }
+    if (remote) {
+      rt_.backend().rmw_charge(victim);
+    }
+    std::uint64_t expected = raw;
+    if (c.steal_head.compare_exchange_strong(expected, raw + n,
+                                             std::memory_order_seq_cst)) {
+      if (sh != copy_base) {
+        // Claimed a suffix of the buffered copy: slide it to the front.
+        std::memmove(out,
+                     out + static_cast<std::size_t>(sh - copy_base) *
+                               cfg_.slot_bytes,
+                     static_cast<std::size_t>(n) * cfg_.slot_bytes);
+      }
+      return static_cast<int>(n);
+    }
+    counters().cas_retries++;
+    raw = expected;  // the failed CAS witnessed the current word
+    have_raw = true;
+    if (remote) {
+      rt_.charge(kStealBackoffNs * static_cast<TimeNs>(attempt + 1));
+    }
+  }
+  return 0;  // heavy contention: give up, caller picks another victim
+}
+
 int SplitQueue::steal_from_waitfree(Rank victim, std::byte* out) {
   Ctl& c = ctl(victim);
   const bool remote = victim != rt_.me();
@@ -940,9 +1175,18 @@ int SplitQueue::steal_from(Rank victim, std::byte* out) {
   SCIOTO_TRACE_EVENT(rt_.me(), trace::Ev::StealAttempt, victim, 0, 0);
   SCIOTO_METRIC_CTR(rt_.me(), metrics::Ctr::StealAttempts, 1);
   TimeNs t0 = SCIOTO_METRICS_ON() ? rt_.now() : 0;
-  int n = cfg_.mode == QueueMode::WaitFreeSteal
-              ? steal_from_waitfree(victim, out)
-              : steal_from_locked(victim, out);
+  int n;
+  switch (cfg_.mode) {
+    case QueueMode::WaitFreeSteal:
+      n = steal_from_waitfree(victim, out);
+      break;
+    case QueueMode::LockFree:
+      n = steal_from_lockfree(victim, out);
+      break;
+    default:
+      n = steal_from_locked(victim, out);
+      break;
+  }
   if (n > 0) {
     counters().steals_in++;
     counters().tasks_stolen_in += static_cast<std::uint64_t>(n);
@@ -1000,11 +1244,54 @@ bool SplitQueue::add_remote_waitfree(Rank target, const std::byte* task) {
   return ok;
 }
 
+bool SplitQueue::add_remote_lockfree(Rank target, const std::byte* task) {
+  // As in wait-free mode, adders serialize among themselves on the
+  // target's lock (adds are rare) and publish with a CAS because thieves
+  // do not honour the lock. Two lockfree-specific twists: the CAS bumps
+  // the tag -- an add is precisely the operation that re-opens the ABA
+  // window a monotone top never has, so it must change the word beyond
+  // what a subsequent steal could undo -- and the slot write is word-wise
+  // atomic, because a stale thief may still be speculatively reading a
+  // physically aliased slot (its doomed claim discards whatever it tears).
+  Ctl& c = ctl(target);
+  const bool remote = target != rt_.me();
+  rt_.lock(locks_, target);
+  bool ok = false;
+  for (;;) {
+    std::uint64_t raw = c.steal_head.load(std::memory_order_seq_cst);
+    std::uint64_t sh = sh_idx(raw);
+    std::uint64_t pt = c.priv_tail.load(std::memory_order_acquire);
+    if (pt - (sh - 1) >= cfg_.capacity) {
+      break;
+    }
+    if (remote) {
+      rt_.rma_charge(target, cfg_.slot_bytes);
+    }
+    store_slot_relaxed(target, sh - 1, task);
+    if (remote) {
+      rt_.backend().rmw_charge(target);
+    }
+    std::uint64_t expected = raw;
+    if (c.steal_head.compare_exchange_strong(expected,
+                                             sh_tag_bump(raw, sh - 1),
+                                             std::memory_order_seq_cst)) {
+      ok = true;
+      break;
+    }
+    // A thief advanced steal_head meanwhile; rewrite at the new position.
+    counters().cas_retries++;
+  }
+  rt_.unlock(locks_, target);
+  return ok;
+}
+
 bool SplitQueue::add_remote(Rank target, const std::byte* task) {
   SCIOTO_REQUIRE(target != rt_.me(), "add_remote to self; use push_local");
   bool ok;
   if (cfg_.mode == QueueMode::WaitFreeSteal) {
     ok = add_remote_waitfree(target, task);
+  } else if (cfg_.mode == QueueMode::LockFree) {
+    ok = add_remote_lockfree(target, task);
   } else {
     // As in steal_from: the control block rides along with the lock grant.
     rt_.lock(locks_, target);
@@ -1040,7 +1327,8 @@ bool SplitQueue::add_remote(Rank target, const std::byte* task) {
 SplitQueue::Snapshot SplitQueue::debug_snapshot(Rank r) {
   Ctl& c = ctl(r);
   Snapshot s;
-  s.steal_head = c.steal_head.load(std::memory_order_seq_cst);
+  // Masked: the LockFree ABA tag is protocol-internal, not queue state.
+  s.steal_head = sh_idx(c.steal_head.load(std::memory_order_seq_cst));
   s.split = c.split.load(std::memory_order_seq_cst);
   s.priv_tail = c.priv_tail.load(std::memory_order_seq_cst);
   return s;
@@ -1088,7 +1376,7 @@ void SplitQueue::metrics_queue_gauges() {
   Ctl& c = ctl(me);
   std::uint64_t pt = unfrozen(c.priv_tail.load(std::memory_order_relaxed));
   std::uint64_t sp = c.split.load(std::memory_order_relaxed);
-  std::uint64_t sh = c.steal_head.load(std::memory_order_relaxed);
+  std::uint64_t sh = sh_idx(c.steal_head.load(std::memory_order_relaxed));
   metrics::gauge_set(me, metrics::Gauge::QueueDepth, pt > sh ? pt - sh : 0);
   metrics::gauge_set(me, metrics::Gauge::QueueShared, sp > sh ? sp - sh : 0);
   // Split position relative to the ring origin: how far the split point

@@ -39,6 +39,20 @@
 //   but publish with a CAS so they remain correct against concurrent
 //   lock-free thieves.
 //
+// * LockFree (Chase-Lev top/bottom on the shared portion): like
+//   WaitFreeSteal, thieves claim chunks with a single CAS on steal_head
+//   ("top") and never block, but the full split machinery stays live --
+//   the owner still releases by raising `split` ("bottom" of the shared
+//   window) and still *lowers* it in reacquire() through a validated
+//   seq_cst publish, falling back to a CAS self-steal when the shared
+//   portion is thin (the classic owner-CAS-on-top arbitration for the
+//   last element). What makes the unlocked claims sound against remote
+//   adds -- which move steal_head *down*, re-opening the ABA window a
+//   monotone top never has -- is a 16-bit modification tag packed into
+//   steal_head's top bits: every add bumps the tag, so a stale thief's
+//   CAS cannot succeed against a same-index-different-history word. See
+//   DESIGN.md for the full memory-order argument.
+//
 // Cost model: local lock-free ops charge MachineModel::local_insert/get;
 // remote ops charge lock/RMA/RMW costs through the runtime, which under
 // sim also serializes contenders in virtual time.
@@ -72,6 +86,7 @@ enum class QueueMode {
   Split,          // §5: lock-free private portion + locked shared portion
   NoSplit,        // original fully locked queue (Figure 7 ablation)
   WaitFreeSteal,  // §8: CAS-published steals, no thief ever blocks
+  LockFree,       // Chase-Lev: CAS steals + tagged ABA-safe adds + live split
 };
 
 const char* queue_mode_name(QueueMode mode);
@@ -140,7 +155,9 @@ class SplitQueue {
     std::uint64_t steal_attempts = 0;   // including empty-handed
     std::uint64_t tasks_stolen_in = 0;  // tasks obtained by stealing
     std::uint64_t remote_adds = 0;      // tasks we pushed to other ranks
-    std::uint64_t cas_retries = 0;      // wait-free mode only
+    std::uint64_t cas_retries = 0;      // wait-free / lockfree modes only
+    std::uint64_t steal_copy_reuses = 0;  // lockfree retries that kept the
+                                          // buffered chunk (same tag)
     std::uint64_t steals_aborted = 0;   // fault-truncated to zero tasks
     std::uint64_t tasks_recovered = 0;  // replayed txns + adopted queues
     std::uint64_t commit_retries = 0;   // dropped commit writes retried
@@ -251,6 +268,27 @@ class SplitQueue {
   // (remote adds decrement steal_head) without underflow.
   static constexpr std::uint64_t kIndexBase = 1ull << 32;
 
+  /// LockFree mode packs steal_head as (tag << 48) | index. Thief claims
+  /// preserve the tag (raw + n keeps bits 48..63 while index < 2^48);
+  /// every remote add bumps it. The tag is what closes the ABA window:
+  /// without it, "steal n, then add n" returns steal_head to a value a
+  /// stale thief still holds as its CAS expected word, and the claim
+  /// would land on slots that no longer hold the tasks it copied. With
+  /// the bump, a raw value can only recur after 65536 adds *and* an
+  /// exactly offsetting steal volume inside one thief's load-to-CAS
+  /// window -- out of scope by construction (a thief's window contains
+  /// at most one chunk copy). Other modes never set tag bits, so the
+  /// masked readers below are no-ops for them.
+  static constexpr int kShTagShift = 48;
+  static constexpr std::uint64_t kShIndexMask = (1ull << kShTagShift) - 1;
+  static constexpr std::uint64_t sh_idx(std::uint64_t raw) {
+    return raw & kShIndexMask;
+  }
+  static constexpr std::uint64_t sh_tag_bump(std::uint64_t raw,
+                                             std::uint64_t new_idx) {
+    return (((raw >> kShTagShift) + 1) & 0xffff) << kShTagShift | new_idx;
+  }
+
   /// Freeze tag a ward installs in priv_tail while it adopts the queue
   /// (drain_dead). No reachable index ever carries this bit, so a falsely
   /// suspected owner's lock-free push/pop CAS -- whose expected value is
@@ -333,9 +371,24 @@ class SplitQueue {
   /// concurrent overwrite because the caller discards the data when its
   /// publishing CAS fails.
   void copy_slot_relaxed(Rank victim, std::uint64_t index, std::byte* out);
+  /// Word-wise relaxed-atomic slot write: LockFree-mode writers use it so
+  /// a *stale* thief's speculative read of a physically aliased ring slot
+  /// (its claim is doomed -- the tag moved on) is a benign atomic race
+  /// instead of UB; the data it may tear is discarded with its failed CAS.
+  void store_slot_relaxed(Rank victim, std::uint64_t index,
+                          const std::byte* src);
   int steal_from_locked(Rank victim, std::byte* out);
   int steal_from_waitfree(Rank victim, std::byte* out);
+  /// Chase-Lev claim: bounded multi-CAS take loop. Each attempt re-reads
+  /// the tagged steal_head and the live knobs (chunk/steal-half), copies
+  /// the candidate chunk speculatively, and publishes with one seq_cst
+  /// CAS of raw -> raw + n; a lost race discards the copy and retries.
+  int steal_from_lockfree(Rank victim, std::byte* out);
   bool add_remote_waitfree(Rank target, const std::byte* task);
+  /// Like add_remote_waitfree (adders serialize on the victim's lock),
+  /// but the publishing CAS bumps the steal_head tag -- the ABA fence
+  /// the unlocked thief claims rely on.
+  bool add_remote_lockfree(Rank target, const std::byte* task);
   /// Telemetry: record an owner-op latency sample (t0 taken at op entry)
   /// and refresh this rank's queue gauges. One predicted-false branch when
   /// no metrics session is active.

@@ -425,6 +425,10 @@ void scioto_ctl_stats_get(scioto_ctl_stats_t* out) {
   out->inherits = s.inherits;
 }
 
+const char* tc_queue_mode(tc_t tc) {
+  return scioto::queue_mode_name(collection(tc).queue_mode());
+}
+
 int tc_knob_get(tc_t tc, const char* name, int64_t* value) {
   scioto::control::Knob k;
   if (name == nullptr || value == nullptr ||

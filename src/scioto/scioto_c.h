@@ -85,6 +85,10 @@ void tc_reset(tc_t tc);
 /// Collective: fills `out` with statistics summed over all ranks from the
 /// last tc_process().
 void tc_stats_get(tc_t tc, scioto_stats_t* out);
+/// Effective steal protocol of this collection after the SCIOTO_QUEUE env
+/// override ("split", "no-split", "wait-free", or "lockfree"); static
+/// storage, valid for the process lifetime.
+const char* tc_queue_mode(tc_t tc);
 
 task_t* tc_task_create(int body_sz, task_handle_t th);
 void tc_task_destroy(task_t* task);

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
+#include <string_view>
 #include <thread>
 
 #include "base/log.hpp"
@@ -104,6 +106,27 @@ TaskCollection::TaskCollection(pgas::Runtime& rt, TcConfig cfg)
   SCIOTO_REQUIRE(cfg_.max_task_body >= 0, "negative max_task_body");
   SCIOTO_REQUIRE(cfg_.chunk_size >= 1, "chunk_size must be >= 1");
   SCIOTO_REQUIRE(cfg_.max_tasks_per_rank >= 2, "max_tasks_per_rank too small");
+  // SCIOTO_QUEUE=locked|aborting|lockfree selects the steal protocol at
+  // construction time (collectively uniform: every rank reads the same
+  // environment). It overrides the configured mode so existing programs
+  // can A/B the lock-free path without a rebuild.
+  if (const char* qm = std::getenv("SCIOTO_QUEUE")) {
+    const std::string_view v(qm);
+    if (v == "locked") {
+      cfg_.queue_mode = QueueMode::Split;
+      cfg_.aborting_steals = false;
+    } else if (v == "aborting") {
+      cfg_.queue_mode = QueueMode::Split;
+      cfg_.aborting_steals = true;
+    } else if (v == "lockfree") {
+      cfg_.queue_mode = QueueMode::LockFree;
+      cfg_.aborting_steals = false;  // CAS steals never block on a lock
+    } else if (!v.empty()) {
+      SCIOTO_REQUIRE(false, "SCIOTO_QUEUE: unknown mode '"
+                                << qm
+                                << "' (expected locked|aborting|lockfree)");
+    }
+  }
   if (cfg_.chunk_max == 0) {
     cfg_.chunk_max = cfg_.chunk_size;
 #if SCIOTO_CONTROL_ENABLED

@@ -46,8 +46,10 @@ struct TcConfig {
   /// Per-rank queue capacity in tasks (the paper's max_sz).
   std::int64_t max_tasks_per_rank = 1 << 16;
   /// Queue variant: Split (the paper's design), NoSplit (the original
-  /// fully locked queue, Figure 7's ablation), or WaitFreeSteal (the §8
-  /// lock-free steal path).
+  /// fully locked queue, Figure 7's ablation), WaitFreeSteal (the §8
+  /// lock-free steal path), or LockFree (Chase-Lev CAS steals with the
+  /// split machinery live). Overridable at construction by the
+  /// SCIOTO_QUEUE env knob (locked | aborting | lockfree).
   QueueMode queue_mode = QueueMode::Split;
   /// The paper allows disabling dynamic load balancing before process().
   bool load_balancing = true;
@@ -139,6 +141,8 @@ class TaskCollection {
 
   pgas::Runtime& runtime() { return rt_; }
   const TcConfig& config() const { return cfg_; }
+  /// Effective queue mode after the SCIOTO_QUEUE env override.
+  QueueMode queue_mode() const { return cfg_.queue_mode; }
 
   // ---- Collective registration (before first process()) ----
   /// Registers a task callback; all ranks must register the same callbacks

@@ -134,6 +134,66 @@ TEST_P(DifferentialTest, UtsBinomialMatchesSequentialOracle) {
   }
 }
 
+// ---- Queue-mode matrix ----
+
+/// The three production steal protocols behind SCIOTO_QUEUE: locked
+/// (the paper's blocking chunked steals), aborting (trylock + retarget),
+/// and lockfree (the Chase-Lev tagged-CAS path). Same UTS workload, both
+/// backends, eight scheduler seeds each: every cell must reproduce the
+/// sequential oracle exactly. Lockfree stays opt-in -- the default mode
+/// is untouched Split, so the fig4/fig7 trace goldens (test_trace) stay
+/// byte-identical with this feature merely compiled in.
+struct ModeRow {
+  const char* name;
+  QueueMode mode;
+  bool aborting;
+};
+
+constexpr ModeRow kModes[] = {
+    {"locked", QueueMode::Split, false},
+    {"aborting", QueueMode::Split, true},
+    {"lockfree", QueueMode::LockFree, false},
+};
+
+TEST_P(DifferentialTest, QueueModeMatrixMatchesSequentialOracle) {
+  const UtsParams tree = apps::uts_tiny();
+  const UtsCounts expected = apps::uts_sequential(tree);
+  ASSERT_GT(expected.nodes, 0u);
+
+  for (const ModeRow& m : kModes) {
+    for (int s = 0; s < kSeeds; ++s) {
+      const std::uint64_t seed = 4000 + 53 * static_cast<std::uint64_t>(s);
+      UtsCounts got;
+      TcStats stats;
+      testing::run(
+          kRanks, GetParam(),
+          [&](pgas::Runtime& rt) {
+            UtsRunConfig cfg;
+            cfg.chunk = 2;
+            cfg.queue_mode = m.mode;
+            cfg.aborting_steals = m.aborting;
+            auto res = apps::uts_run_scioto(rt, tree, cfg);
+            if (rt.me() == 0) {
+              got = res.counts;
+              stats = res.stats;
+            }
+          },
+          seed);
+      EXPECT_EQ(got, expected) << "mode=" << m.name << " seed=" << seed;
+      EXPECT_GT(stats.tasks_executed, 0u)
+          << "mode=" << m.name << " seed=" << seed;
+      if (!m.aborting) {
+        // Neither pure-locked nor lockfree ever bounces off a held lock:
+        // the former convoys, the latter has no lock on the steal path.
+        EXPECT_EQ(stats.steals_lock_busy, 0u)
+            << "mode=" << m.name << " seed=" << seed;
+        EXPECT_EQ(stats.steal_retargets, 0u)
+            << "mode=" << m.name << " seed=" << seed;
+      }
+    }
+  }
+}
+
 // ---- Matmul differential ----
 
 struct MmTask {

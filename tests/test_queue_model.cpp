@@ -18,7 +18,13 @@
 //
 // Runs the enumeration over the steal-knob grid (adaptive chunking and
 // the owner fast path change which code paths move the split pointer, but
-// must never change the externally visible queue contents).
+// must never change the externally visible queue contents), and over the
+// Split and LockFree queue modes. The Chase-Lev LockFree mode has one
+// observable semantic difference the model tracks: when the shared
+// portion is thinner than the fast-path margin (2 * chunk_max),
+// reacquire() self-steals through the thief CAS path, so the *oldest*
+// shared tasks come back as the *newest* private tasks instead of the
+// newest shared becoming the oldest private.
 #include <gtest/gtest.h>
 
 #include <cstring>
@@ -109,9 +115,22 @@ struct Model {
     }
     return give;
   }
-  std::uint64_t reacquire() {
+  std::uint64_t reacquire(QueueMode mode, bool adaptive) {
     if (shared_.empty()) return 0;
     std::uint64_t avail = shared_.size();
+    if (mode == QueueMode::LockFree &&
+        avail < 2 * static_cast<std::uint64_t>(kChunk)) {
+      // Thin shared portion: no margin for the validated split publish,
+      // so the owner self-steals through the thief CAS path (the classic
+      // owner-CAS-on-top arbitration) and re-pushes -- the *oldest*
+      // shared tasks become the *newest* private tasks.
+      std::uint64_t n = steal_width(adaptive);
+      for (std::uint64_t i = 0; i < n; ++i) {
+        priv_.push_back(shared_.front());
+        shared_.pop_front();
+      }
+      return n;
+    }
     std::uint64_t take = avail - avail / 2;  // ceil(avail / 2)
     // The newest shared tasks (just below split) become the oldest
     // private tasks.
@@ -136,12 +155,12 @@ struct Model {
   }
 };
 
-SplitQueue::Config model_cfg(bool adaptive, bool fastpath) {
+SplitQueue::Config model_cfg(QueueMode mode, bool adaptive, bool fastpath) {
   SplitQueue::Config c;
   c.slot_bytes = kSlot;
   c.capacity = kCapacity;
   c.chunk = kChunk;
-  c.mode = QueueMode::Split;
+  c.mode = mode;
   c.release_threshold = kThreshold;
   c.adaptive_chunk = adaptive;
   c.owner_fastpath = fastpath;
@@ -150,8 +169,9 @@ SplitQueue::Config model_cfg(bool adaptive, bool fastpath) {
 
 /// Applies one op to both queue and model, checking predictions and index
 /// invariants. Records removed ids (with duplicates detection) in `seen`.
-void apply_checked(SplitQueue& q, Model& m, Op op, bool adaptive,
-                   std::uint64_t* next_id, std::uint64_t* pushed,
+void apply_checked(SplitQueue& q, Model& m, Op op, QueueMode mode,
+                   bool adaptive, std::uint64_t* next_id,
+                   std::uint64_t* pushed,
                    std::multiset<std::uint64_t>* removed,
                    const std::string& ctx) {
   std::byte buf[kSlot];
@@ -192,7 +212,7 @@ void apply_checked(SplitQueue& q, Model& m, Op op, bool adaptive,
       break;
     }
     case Op::Reacquire: {
-      std::uint64_t want = m.reacquire();
+      std::uint64_t want = m.reacquire(mode, adaptive);
       ASSERT_EQ(q.reacquire(), want) << ctx;
       break;
     }
@@ -224,7 +244,8 @@ void apply_checked(SplitQueue& q, Model& m, Op op, bool adaptive,
 
 /// Empties queue + model, asserting every remaining task comes out with
 /// the right id, then checks conservation for the whole sequence.
-void drain_checked(SplitQueue& q, Model& m, std::uint64_t pushed,
+void drain_checked(SplitQueue& q, Model& m, QueueMode mode, bool adaptive,
+                   std::uint64_t pushed,
                    std::multiset<std::uint64_t>* removed,
                    const std::string& ctx) {
   std::byte buf[kSlot];
@@ -236,7 +257,7 @@ void drain_checked(SplitQueue& q, Model& m, std::uint64_t pushed,
       ASSERT_EQ(slot_id(buf), want_id) << ctx;
       removed->insert(want_id);
     } else {
-      std::uint64_t want = m.reacquire();
+      std::uint64_t want = m.reacquire(mode, adaptive);
       ASSERT_GT(want, 0u) << ctx;
       ASSERT_EQ(q.reacquire(), want) << ctx;
     }
@@ -276,10 +297,10 @@ void spin_phase(SplitQueue& q, int cycles, std::uint64_t* next_id) {
 
 /// Enumerates every op sequence of length `len` against one knob combo,
 /// starting each sequence at the given ring phase.
-void run_enumeration(bool adaptive, bool fastpath, int len,
+void run_enumeration(QueueMode mode, bool adaptive, bool fastpath, int len,
                      int phase_cycles) {
   testing::run_sim(1, [&](Runtime& rt) {
-    SplitQueue q(rt, model_cfg(adaptive, fastpath));
+    SplitQueue q(rt, model_cfg(mode, adaptive, fastpath));
     std::uint64_t next_id = 1;
     long total = 1;
     for (int i = 0; i < len; ++i) total *= kNumOps;
@@ -297,10 +318,11 @@ void run_enumeration(bool adaptive, bool fastpath, int len,
         c /= kNumOps;
         ctx += op_name(op);
         ctx += ' ';
-        apply_checked(q, m, op, adaptive, &next_id, &pushed, &removed, ctx);
+        apply_checked(q, m, op, mode, adaptive, &next_id, &pushed, &removed,
+                      ctx);
         if (::testing::Test::HasFatalFailure()) return;
       }
-      drain_checked(q, m, pushed, &removed, ctx);
+      drain_checked(q, m, mode, adaptive, pushed, &removed, ctx);
       if (::testing::Test::HasFatalFailure()) return;
     }
     q.destroy();
@@ -308,21 +330,33 @@ void run_enumeration(bool adaptive, bool fastpath, int len,
 }
 
 TEST(QueueModel, ExhaustiveLength6Baseline) {
-  run_enumeration(/*adaptive=*/false, /*fastpath=*/false, /*len=*/6,
-                  /*phase_cycles=*/0);
+  run_enumeration(QueueMode::Split, /*adaptive=*/false, /*fastpath=*/false,
+                  /*len=*/6, /*phase_cycles=*/0);
 }
 
 TEST(QueueModel, ExhaustiveLength6AllKnobs) {
-  run_enumeration(/*adaptive=*/true, /*fastpath=*/true, /*len=*/6,
-                  /*phase_cycles=*/1);
+  run_enumeration(QueueMode::Split, /*adaptive=*/true, /*fastpath=*/true,
+                  /*len=*/6, /*phase_cycles=*/1);
+}
+
+TEST(QueueModel, ExhaustiveLength6LockFree) {
+  run_enumeration(QueueMode::LockFree, /*adaptive=*/false,
+                  /*fastpath=*/false, /*len=*/6, /*phase_cycles=*/0);
+}
+
+TEST(QueueModel, ExhaustiveLength6LockFreeAdaptive) {
+  run_enumeration(QueueMode::LockFree, /*adaptive=*/true, /*fastpath=*/false,
+                  /*len=*/6, /*phase_cycles=*/1);
 }
 
 TEST(QueueModel, ExhaustiveLength4AcrossKnobsAndPhases) {
-  for (bool adaptive : {false, true}) {
-    for (bool fastpath : {false, true}) {
-      for (int phase : {0, 3, 5}) {
-        run_enumeration(adaptive, fastpath, /*len=*/4, phase);
-        if (::testing::Test::HasFatalFailure()) return;
+  for (QueueMode mode : {QueueMode::Split, QueueMode::LockFree}) {
+    for (bool adaptive : {false, true}) {
+      for (bool fastpath : {false, true}) {
+        for (int phase : {0, 3, 5}) {
+          run_enumeration(mode, adaptive, fastpath, /*len=*/4, phase);
+          if (::testing::Test::HasFatalFailure()) return;
+        }
       }
     }
   }
@@ -332,26 +366,30 @@ TEST(QueueModel, ExhaustiveLength4AcrossKnobsAndPhases) {
 // that the physical ring wraps hundreds of times; the model must track
 // every transition.
 TEST(QueueModel, RandomWalkLongWrap) {
-  testing::run_sim(1, [&](Runtime& rt) {
-    SplitQueue q(rt, model_cfg(/*adaptive=*/true, /*fastpath=*/true));
-    Model m;
-    std::multiset<std::uint64_t> removed;
-    std::uint64_t next_id = 1, pushed = 0;
-    std::uint64_t state = 0x9e3779b97f4a7c15ull;  // deterministic walk
-    for (int step = 0; step < 20000; ++step) {
-      state ^= state << 13;
-      state ^= state >> 7;
-      state ^= state << 17;
-      Op op = kOps[state % kNumOps];
-      std::string ctx = std::string("step ") + std::to_string(step) + " " +
-                        op_name(op);
-      apply_checked(q, m, op, /*adaptive=*/true, &next_id, &pushed, &removed,
-                    ctx);
-      if (::testing::Test::HasFatalFailure()) return;
-    }
-    drain_checked(q, m, pushed, &removed, "random-walk drain");
-    q.destroy();
-  });
+  for (QueueMode mode : {QueueMode::Split, QueueMode::LockFree}) {
+    testing::run_sim(1, [&](Runtime& rt) {
+      SplitQueue q(rt, model_cfg(mode, /*adaptive=*/true, /*fastpath=*/true));
+      Model m;
+      std::multiset<std::uint64_t> removed;
+      std::uint64_t next_id = 1, pushed = 0;
+      std::uint64_t state = 0x9e3779b97f4a7c15ull;  // deterministic walk
+      for (int step = 0; step < 20000; ++step) {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        Op op = kOps[state % kNumOps];
+        std::string ctx = std::string(queue_mode_name(mode)) + " step " +
+                          std::to_string(step) + " " + op_name(op);
+        apply_checked(q, m, op, mode, /*adaptive=*/true, &next_id, &pushed,
+                      &removed, ctx);
+        if (::testing::Test::HasFatalFailure()) return;
+      }
+      drain_checked(q, m, mode, /*adaptive=*/true, pushed, &removed,
+                    "random-walk drain");
+      q.destroy();
+    });
+    if (::testing::Test::HasFatalFailure()) return;
+  }
 }
 
 }  // namespace

@@ -1,8 +1,9 @@
 // Steal-contention stress tests on the real-threads backend: one victim,
 // N-1 thieves hammering it with the full adaptive steal engine enabled
-// (aborting trylock steals, steal-half chunking, owner fast path,
-// deferred chunk wire time). Runs under the CI TSan job (suite name
-// carries "Threads" for its filter).
+// (steal-half chunking, owner fast path, and -- per steal protocol under
+// test -- blocking locked steals, aborting trylock steals, or the
+// lockfree Chase-Lev CAS path). Runs under the CI TSan job (suite names
+// carry "Threads" for its filter).
 //
 //   * Conservation: every task the victim produces is consumed exactly
 //     once, by the victim itself or by exactly one thief -- checked with
@@ -15,6 +16,7 @@
 
 #include <atomic>
 #include <cstring>
+#include <string>
 #include <vector>
 
 #include "scioto/queue.hpp"
@@ -40,24 +42,45 @@ std::uint64_t slot_id(const std::byte* buf) {
   return id;
 }
 
-SplitQueue::Config stress_cfg() {
+/// One steal protocol under stress. `locked` is the paper's blocking
+/// chunked steal, `aborting` adds trylock + kStealBusy, `lockfree` is
+/// the Chase-Lev tagged-CAS path (which has no lock to be busy on).
+struct StressMode {
+  const char* name;
+  QueueMode mode;
+  bool aborting;
+};
+
+constexpr StressMode kStressModes[] = {
+    {"locked", QueueMode::Split, false},
+    {"aborting", QueueMode::Split, true},
+    {"lockfree", QueueMode::LockFree, false},
+};
+
+SplitQueue::Config stress_cfg(const StressMode& m) {
   SplitQueue::Config c;
   c.slot_bytes = kSlot;
   c.capacity = 4096;
   c.chunk = 4;
-  c.mode = QueueMode::Split;
+  c.mode = m.mode;
   c.release_threshold = 4;
-  c.aborting_steals = true;
+  c.aborting_steals = m.aborting;
   c.adaptive_chunk = true;
   c.owner_fastpath = true;
-  c.deferred_steal_copy = true;
+  // The shrunken critical section only exists on the locked steal path.
+  c.deferred_steal_copy = m.mode == QueueMode::Split;
   return c;
 }
 
-TEST(StealStressThreads, OneVictimManyThievesConservation) {
+SplitQueue::Config stress_cfg() { return stress_cfg(kStressModes[1]); }
+
+class StealStressModeThreads
+    : public ::testing::TestWithParam<StressMode> {};
+
+TEST_P(StealStressModeThreads, OneVictimManyThievesConservation) {
   constexpr std::uint64_t kTasks = 2000;
   testing::run_threads(kRanks, [&](Runtime& rt) {
-    SplitQueue q(rt, stress_cfg());
+    SplitQueue q(rt, stress_cfg(GetParam()));
     pgas::SegId flag_seg = rt.seg_alloc(64);
     auto* done =
         reinterpret_cast<std::atomic<std::uint64_t>*>(rt.seg_ptr(flag_seg, 0));
@@ -114,6 +137,8 @@ TEST(StealStressThreads, OneVictimManyThievesConservation) {
           continue;
         }
         if (got == SplitQueue::kStealBusy) {
+          EXPECT_TRUE(GetParam().aborting)
+              << "kStealBusy from a non-aborting steal protocol";
           ++busy;
           continue;
         }
@@ -124,6 +149,9 @@ TEST(StealStressThreads, OneVictimManyThievesConservation) {
         rt.relax();
       }
       EXPECT_EQ(q.counters().steals_lock_busy, busy);
+      if (!GetParam().aborting) {
+        EXPECT_EQ(busy, 0u);
+      }
     }
     rt.barrier();
 
@@ -144,6 +172,16 @@ TEST(StealStressThreads, OneVictimManyThievesConservation) {
   });
 }
 
+INSTANTIATE_TEST_SUITE_P(Modes, StealStressModeThreads,
+                         ::testing::ValuesIn(kStressModes),
+                         [](const auto& info) {
+                           return std::string(info.param.name);
+                         });
+
+// Aborting-specific: the trylock bounce must be strictly read-only.
+// Locked-only by construction (lockfree has no lock for the victim to
+// sit on; its no-mutation guarantee is the failed-CAS path, stressed
+// above and in test_queue_lockfree).
 TEST(StealStressThreads, AbortedStealLeavesVictimByteIdentical) {
   testing::run_threads(kRanks, [&](Runtime& rt) {
     SplitQueue q(rt, stress_cfg());
