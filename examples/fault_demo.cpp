@@ -7,6 +7,8 @@
 //   ./fault_demo --ranks 8 --scale 10
 //   ./fault_demo --plan "kill:rank=2,at=80us;kill:rank=6,at=160us"
 //   ./fault_demo --detector   # deaths detected by heartbeat, not oracle
+//   ./fault_demo --join "rank=6,at=2ms;rank=7,at=2ms"   # grow mid-run
+//   ./fault_demo --ckpt at=4ms                          # quiesce+snapshot
 //
 // Fail-stop kills need the deterministic sim backend: with the same plan
 // and seed the whole run, trace included, replays bit-for-bit.
@@ -18,6 +20,7 @@
 #include "apps/uts/uts_drivers.hpp"
 #include "base/options.hpp"
 #include "detect/membership.hpp"
+#include "elastic/elastic.hpp"
 #include "fault/fault.hpp"
 #include "metrics/metrics.hpp"
 #include "metrics/monitor.hpp"
@@ -42,6 +45,14 @@ int main(int argc, char** argv) {
   opts.add_flag("live", false,
                 "render the live fleet dashboard during the run (with "
                 "--detector, killed ranks walk alive -> suspect -> dead)");
+  opts.add_string("join", "",
+                  "elastic joins: \"rank=R,at=T\" rules (';'-separated); "
+                  "those ranks start parked and are admitted mid-run");
+  opts.add_string("ckpt", "",
+                  "checkpoint rule, e.g. \"at=4ms\": quiesce the fleet and "
+                  "snapshot queue state to --ckpt-path");
+  opts.add_string("ckpt-path", "fault_demo.ckpt",
+                  "checkpoint manifest path (parts at <path>.r<k>)");
   if (!opts.parse(argc, argv)) return 0;
 
   const bool detector = opts.get_flag("detector");
@@ -57,7 +68,43 @@ int main(int argc, char** argv) {
   }
 
   const int nranks = static_cast<int>(opts.get_int("ranks"));
-  fault::FaultPlan plan = fault::FaultPlan::parse(opts.get_string("plan"));
+
+  // --join / --ckpt translate to fault-plan rules ("join:...", "ckpt:...")
+  // appended to --plan, and arm the elastic layer for the run.
+  std::string spec = opts.get_string("plan");
+  auto append_rules = [&spec](const std::string& arg, const char* kind) {
+    std::size_t pos = 0;
+    while (pos <= arg.size()) {
+      std::size_t semi = arg.find(';', pos);
+      std::string one = arg.substr(
+          pos, semi == std::string::npos ? std::string::npos : semi - pos);
+      if (!one.empty()) {
+        if (!spec.empty()) spec += ';';
+        spec += kind;
+        spec += ':';
+        spec += one;
+      }
+      if (semi == std::string::npos) break;
+      pos = semi + 1;
+    }
+  };
+  const bool elastic_req =
+      !opts.get_string("join").empty() || !opts.get_string("ckpt").empty();
+  if (elastic_req && !SCIOTO_ELASTIC_ENABLED) {
+    std::printf("--join/--ckpt: elastic membership compiled out "
+                "(SCIOTO_ELASTIC=OFF); ignoring\n");
+  } else if (elastic_req) {
+    append_rules(opts.get_string("join"), "join");
+    append_rules(opts.get_string("ckpt"), "ckpt");
+    elastic::Config ec = elastic::config();
+    ec.enabled = true;
+    if (!opts.get_string("ckpt").empty() && ec.ckpt_path.empty()) {
+      ec.ckpt_path = opts.get_string("ckpt-path");
+    }
+    elastic::set_config(ec);
+  }
+
+  fault::FaultPlan plan = fault::FaultPlan::parse(spec);
   std::printf("fault plan (%d events):\n%s",
               static_cast<int>(plan.events.size()),
               plan.describe().c_str());
@@ -175,6 +222,21 @@ int main(int argc, char** argv) {
     if (!dl.empty()) {
       trace::detection_table(dl).print(
           "detection latency (kill -> first ConfirmDead)");
+    }
+  }
+
+  if (elastic_req && SCIOTO_ELASTIC_ENABLED) {
+    elastic::Stats es = elastic::stats();
+    detect::Stats ds = detect::stats();
+    std::printf("\nelastic: %llu ranks joined in %llu waves, "
+                "%llu checkpoints, %llu restores\n",
+                static_cast<unsigned long long>(ds.joins),
+                static_cast<unsigned long long>(ds.grows),
+                static_cast<unsigned long long>(es.checkpoints),
+                static_cast<unsigned long long>(es.restores));
+    if (es.checkpoints > 0) {
+      std::printf("checkpoint manifest: %s\n",
+                  elastic::config().ckpt_path.c_str());
     }
   }
 

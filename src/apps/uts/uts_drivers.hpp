@@ -72,6 +72,17 @@ UtsResult uts_run_scioto(pgas::Runtime& rt, const UtsParams& tree,
 UtsResult uts_run_scioto_ft(pgas::Runtime& rt, const UtsParams& tree,
                             const UtsRunConfig& cfg);
 
+/// Collective: the fault-tolerant UTS driver with checkpoint hooks wired,
+/// for elastic runs that quiesce mid-traversal. The per-rank durable
+/// counts ride along in each part file's application blob (the quiesce
+/// leader also folds in the patches of dead and parked ranks, which write
+/// no part of their own), and a restore accumulates incoming blobs into
+/// the restoring rank's patch -- so a checkpoint/halt run followed by a
+/// restore run, possibly on a different fleet size, sums to exactly the
+/// uninterrupted traversal's counts.
+UtsResult uts_run_scioto_elastic(pgas::Runtime& rt, const UtsParams& tree,
+                                 const UtsRunConfig& cfg);
+
 /// Collective: UTS under two-sided work stealing with explicit polling.
 UtsResult uts_run_mpi_ws(pgas::Runtime& rt, const UtsParams& tree,
                          const UtsRunConfig& cfg);

@@ -13,7 +13,7 @@ namespace {
 // One state word per rank. Suspicion is a per-prober judgement (kept in
 // each rank's HeartbeatProbe), but death and rejoin are global facts every
 // rank must agree on, so only those live here.
-enum class Liveness : std::uint8_t { Alive = 0, Dead = 1 };
+enum class Liveness : std::uint8_t { Alive = 0, Dead = 1, NotJoined = 2 };
 
 struct View {
   int nranks = 0;
@@ -48,21 +48,29 @@ bool enabled() { return g_config.enabled; }
 
 bool active() { return g_active.load(std::memory_order_relaxed); }
 
-void start(int nranks) {
+void start(int nranks, int initial_joined) {
   SCIOTO_REQUIRE(!active(), "detect: session already armed");
   SCIOTO_REQUIRE(nranks > 0, "detect: nranks must be positive");
+  if (initial_joined < 0) initial_joined = nranks;
+  SCIOTO_REQUIRE(initial_joined >= 1 && initial_joined <= nranks,
+                 "detect: initial_joined " << initial_joined
+                                           << " out of [1, " << nranks << "]");
   g_view.nranks = nranks;
   g_view.state.clear();
   g_view.suspect_count.clear();
   for (int r = 0; r < nranks; ++r) {
     g_view.state.push_back(std::make_unique<std::atomic<std::uint8_t>>(
-        static_cast<std::uint8_t>(Liveness::Alive)));
+        static_cast<std::uint8_t>(r < initial_joined ? Liveness::Alive
+                                                     : Liveness::NotJoined)));
     g_view.suspect_count.push_back(std::make_unique<std::atomic<int>>(0));
   }
   // Seed from the fault epoch so a mixed run (oracle kills + detector
-  // confirms) still presents one monotone counter to resplice logic.
-  g_view.epoch.store(fault::active() ? fault::epoch() : 0,
-                     std::memory_order_relaxed);
+  // confirms) still presents one monotone counter to resplice logic. An
+  // elastic start (parked ranks present) bumps once past the seed so the
+  // joined subset resplices away from the full static tree immediately.
+  std::uint64_t seed = fault::active() ? fault::epoch() : 0;
+  if (initial_joined < nranks) seed += 1;
+  g_view.epoch.store(seed, std::memory_order_relaxed);
   g_view.stats = Stats{};
   g_active.store(true, std::memory_order_release);
 }
@@ -134,6 +142,37 @@ std::uint64_t rejoin(Rank r) {
       static_cast<std::uint8_t>(Liveness::Alive), std::memory_order_release);
   std::lock_guard<std::mutex> g(g_view.mu);
   ++g_view.stats.rejoins;
+  return g_view.epoch.fetch_add(1, std::memory_order_acq_rel) + 1;
+}
+
+bool joined(Rank r) {
+  if (!active() || r < 0 || r >= g_view.nranks) return true;
+  return g_view.state[static_cast<std::size_t>(r)]->load(
+             std::memory_order_acquire) !=
+         static_cast<std::uint8_t>(Liveness::NotJoined);
+}
+
+std::uint64_t join_ranks(const std::vector<Rank>& rs) {
+  SCIOTO_REQUIRE(active(), "detect: join_ranks outside an armed session");
+  std::lock_guard<std::mutex> g(g_view.mu);
+  std::uint64_t admitted = 0;
+  for (Rank r : rs) {
+    if (r < 0 || r >= g_view.nranks) continue;
+    std::uint8_t expect = static_cast<std::uint8_t>(Liveness::NotJoined);
+    if (g_view.state[static_cast<std::size_t>(r)]->compare_exchange_strong(
+            expect, static_cast<std::uint8_t>(Liveness::Alive),
+            std::memory_order_acq_rel)) {
+      ++admitted;
+    }
+  }
+  if (admitted == 0) {
+    return g_view.epoch.load(std::memory_order_acquire);
+  }
+  g_view.stats.joins += admitted;
+  g_view.stats.grows += 1;
+  // One bump per batch: every rank observes the new epoch and resplices
+  // its termination tree / ward table over the grown membership exactly
+  // once, however many ranks the batch admitted.
   return g_view.epoch.fetch_add(1, std::memory_order_acq_rel) + 1;
 }
 

@@ -55,6 +55,8 @@ struct Stats {
   std::uint64_t confirms = 0;     // suspect -> confirmed-dead transitions
   std::uint64_t fence_aborts = 0; // owner observed an adoption fence
   std::uint64_t rejoins = 0;      // falsely-suspected ranks re-admitted
+  std::uint64_t joins = 0;        // ranks admitted into an elastic fleet
+  std::uint64_t grows = 0;        // admission batches (epoch bumps for joins)
   std::uint64_t max_detect_latency = 0;  // ns, worst observed silence at a
                                          // death confirmation (true kill ->
                                          // confirm latency: trace analysis)
@@ -75,7 +77,15 @@ bool active();
 /// Arms the membership view for `nranks` ranks, all initially alive at
 /// epoch equal to the current fault epoch (so resplice logic sees one
 /// monotone counter regardless of which layer bumps it).
-void start(int nranks);
+///
+/// `initial_joined` < nranks (elastic mode) parks ranks
+/// [initial_joined, nranks) in the NotJoined state: they are not alive
+/// (never steal victims, never probed, no termination-tree seat) but they
+/// are not dead either -- wards must not adopt their queues, which is what
+/// joined() distinguishes. When initial_joined < nranks the epoch is
+/// bumped once past the seed so every joined rank resplices its tree over
+/// the joined subset on its first TD step.
+void start(int nranks, int initial_joined = -1);
 void stop();
 
 /// Membership queries. Armed: the detector's converged view. Disarmed:
@@ -99,6 +109,20 @@ bool confirm_dead(Rank r, Rank by);
 /// epoch so every rank resplices it back into the termination tree and
 /// ward assignments. Returns the new epoch.
 std::uint64_t rejoin(Rank r);
+
+/// True unless `r` is parked in the NotJoined state. Disarmed (and for
+/// out-of-range ranks) every rank counts as joined: the distinction only
+/// exists in an elastic session. A rank that is dead is still "joined" --
+/// joined() answers "has this rank ever been part of the fleet", which is
+/// what the ward table keys off (unjoined queues must never be adopted;
+/// dead ones must).
+bool joined(Rank r);
+
+/// Admits a batch of NotJoined ranks under ONE epoch bump: each becomes
+/// Alive (steal victim/thief, tree seat on the next resplice), stats.joins
+/// grows by the batch size and stats.grows by one. Returns the new epoch.
+/// Ranks already joined are skipped (the batch may race a rejoin).
+std::uint64_t join_ranks(const std::vector<Rank>& rs);
 
 /// Record a kill->confirm detection latency sample (analysis + C API).
 void note_detect_latency(TimeNs latency);

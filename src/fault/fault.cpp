@@ -98,8 +98,12 @@ void start(int nranks, FaultPlan plan, std::uint64_t seed) {
   g_session.seed = seed;
   g_session.rules.clear();
   for (const FaultEvent& ev : plan.events) {
+    // Fail fast, and echo the offending rule: in a multi-event plan a bare
+    // range error is undebuggable (the parser cannot catch this -- it does
+    // not know nranks).
     SCIOTO_REQUIRE(ev.rank < nranks && ev.target < nranks,
-                   "fault event names a rank outside the run");
+                   "fault event names a rank outside the run (nranks="
+                       << nranks << "): " << describe_event(ev));
     g_session.rules.push_back(Armed{ev, 0, 0});
   }
   g_session.alive.clear();
@@ -301,6 +305,16 @@ Summary summary() {
   if (!active()) return Summary{};
   std::lock_guard<std::mutex> g(g_session.mu);
   return g_session.stats;
+}
+
+std::vector<FaultEvent> events_of(FaultType t) {
+  std::vector<FaultEvent> out;
+  if (!active()) return out;
+  std::lock_guard<std::mutex> g(g_session.mu);
+  for (const Armed& a : g_session.rules) {
+    if (a.ev.type == t) out.push_back(a.ev);
+  }
+  return out;
 }
 
 }  // namespace scioto::fault

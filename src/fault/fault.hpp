@@ -130,4 +130,10 @@ std::uint64_t mark_dead(Rank r);
 
 Summary summary();
 
+/// Copies of the armed plan's events of type `t` (empty when disarmed).
+/// The elastic layer schedules from the plan's Join/Ckpt rules this way;
+/// those two types are inert in the fault machinery itself (no matcher
+/// fires them).
+std::vector<FaultEvent> events_of(FaultType t);
+
 }  // namespace scioto::fault

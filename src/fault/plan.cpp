@@ -34,6 +34,8 @@ FaultType parse_type(const std::string& raw) {
   if (t == "delay") return FaultType::Delay;
   if (t == "dup") return FaultType::Dup;
   if (t == "trunc" || t == "truncate") return FaultType::Truncate;
+  if (t == "join") return FaultType::Join;
+  if (t == "ckpt" || t == "checkpoint") return FaultType::Ckpt;
   fail("unknown fault type '" + raw + "'");
 }
 
@@ -114,6 +116,20 @@ void validate(const FaultEvent& ev) {
     case FaultType::Truncate:
       if (ev.keep < 0) fail("truncate needs keep >= 0");
       if (ev.count < 1) fail("truncate needs count >= 1");
+      break;
+    case FaultType::Join:
+      if (ev.rank == kNoRank) fail("join event needs an explicit rank");
+      if (ev.dur > 0 || ev.for_dur > 0) {
+        fail("join takes only rank=, at= and after=");
+      }
+      break;
+    case FaultType::Ckpt:
+      if (ev.rank != kNoRank) {
+        fail("ckpt is fleet-wide: it takes no rank=");
+      }
+      if (ev.dur > 0 || ev.for_dur > 0) {
+        fail("ckpt takes only at= and after=");
+      }
       break;
   }
 }
@@ -245,6 +261,10 @@ const char* fault_type_name(FaultType t) {
       return "dup";
     case FaultType::Truncate:
       return "trunc";
+    case FaultType::Join:
+      return "join";
+    case FaultType::Ckpt:
+      return "ckpt";
   }
   return "?";
 }
@@ -291,22 +311,28 @@ int FaultPlan::kill_count() const {
   return n;
 }
 
+std::string describe_event(const FaultEvent& ev) {
+  std::ostringstream os;
+  os << fault_type_name(ev.type);
+  if (ev.rank != kNoRank) os << " rank=" << ev.rank;
+  if (ev.target != kNoRank) os << " target=" << ev.target;
+  if (ev.op != OpKind::Any) os << " op=" << op_kind_name(ev.op);
+  os << " at=" << ev.at << "ns";
+  if (ev.dur > 0) os << " dur=" << ev.dur << "ns";
+  if (ev.for_dur > 0) os << " for=" << ev.for_dur << "ns";
+  if (ev.type == FaultType::Truncate) os << " keep=" << ev.keep;
+  if (ev.type != FaultType::Kill && ev.type != FaultType::Stall &&
+      ev.type != FaultType::Join && ev.type != FaultType::Ckpt) {
+    os << " count=" << ev.count;
+  }
+  if (ev.after > 0) os << " after=" << ev.after;
+  return os.str();
+}
+
 std::string FaultPlan::describe() const {
   std::ostringstream os;
   for (const FaultEvent& ev : events) {
-    os << fault_type_name(ev.type);
-    if (ev.rank != kNoRank) os << " rank=" << ev.rank;
-    if (ev.target != kNoRank) os << " target=" << ev.target;
-    if (ev.op != OpKind::Any) os << " op=" << op_kind_name(ev.op);
-    os << " at=" << ev.at << "ns";
-    if (ev.dur > 0) os << " dur=" << ev.dur << "ns";
-    if (ev.for_dur > 0) os << " for=" << ev.for_dur << "ns";
-    if (ev.type == FaultType::Truncate) os << " keep=" << ev.keep;
-    if (ev.type != FaultType::Kill && ev.type != FaultType::Stall) {
-      os << " count=" << ev.count;
-    }
-    if (ev.after > 0) os << " after=" << ev.after;
-    os << "\n";
+    os << describe_event(ev) << "\n";
   }
   return os.str();
 }

@@ -27,6 +27,9 @@ enum class FaultType {
   Delay,     // one-sided op charged an extra `dur`
   Dup,       // one-sided op applied twice (idempotence probe)
   Truncate,  // steal hand-off delivers at most `keep` tasks (0 = abort)
+  Join,      // elastic: parked rank `rank` requests admission at/after `at`
+             // (threads backend: after `after` parked polls)
+  Ckpt,      // elastic: fleet quiesces and checkpoints at/after `at`
 };
 
 /// Which runtime operation an op-level fault rule matches.
@@ -57,6 +60,13 @@ struct FaultEvent {
 
 const char* fault_type_name(FaultType t);
 const char* op_kind_name(OpKind k);
+
+/// One event rendered in the compact-spec vocabulary ("kill rank=9
+/// at=5000000ns"): describe() emits one of these per line, and
+/// fault::start echoes it verbatim when it rejects a rule (e.g. a rank
+/// beyond the run's nranks) so the offending rule is identifiable in a
+/// multi-event plan.
+std::string describe_event(const FaultEvent& ev);
 
 struct FaultPlan {
   std::vector<FaultEvent> events;

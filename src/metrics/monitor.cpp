@@ -56,6 +56,7 @@ struct MonState {
   int nranks = 0;
   std::FILE* out = nullptr;
   std::function<RankState(Rank)> liveness;
+  std::function<std::pair<std::uint64_t, std::uint64_t>()> growth;
   // Control-plane hooks; installed by control::start, survive
   // monitor_stop so install/arming order does not matter.
   std::function<void(const FleetSample&)> sample_hook;
@@ -89,12 +90,19 @@ void render_live(MonState& m, const FleetSample& s) {
     std::printf("\x1b[%dA", m.live_lines);
   }
   int lines = 0;
-  std::printf("\x1b[K[monitor] t=%10.3fms alive=%d/%d suspect=%d dead=%d "
+  char growth[48];
+  growth[0] = '\0';
+  if (s.joins > 0) {
+    // Elastic fleets only: admitted-rank and admission-wave counts.
+    std::snprintf(growth, sizeof(growth), " joins=%" PRIu64 "/%" PRIu64,
+                  s.joins, s.grows);
+  }
+  std::printf("\x1b[K[monitor] t=%10.3fms alive=%d/%d suspect=%d dead=%d%s "
               "inflight=%" PRIu64 " cov=%.2f gini=%.2f steal%%=%.1f "
               "exec=%" PRIu64 "\n",
               double(s.t) / 1e6, s.alive, int(s.ranks.size()), s.suspects,
-              s.dead, s.depth_sum, s.cov, s.gini, 100.0 * s.steal_success,
-              s.executed);
+              s.dead, growth, s.depth_sum, s.cov, s.gini,
+              100.0 * s.steal_success, s.executed);
   ++lines;
   std::uint64_t maxd = 1;
   for (const RankSample& r : s.ranks) maxd = std::max(maxd, r.depth);
@@ -121,12 +129,14 @@ void append_jsonl(MonState& m, const FleetSample& s) {
   if (m.out == nullptr) return;
   std::fprintf(m.out,
                "{\"t\":%" PRId64 ",\"nranks\":%d,\"alive\":%d,"
-               "\"suspect\":%d,\"dead\":%d,\"depth_sum\":%" PRIu64
+               "\"suspect\":%d,\"dead\":%d,\"joins\":%" PRIu64
+               ",\"grows\":%" PRIu64 ",\"depth_sum\":%" PRIu64
                ",\"executed\":%" PRIu64 ",\"steal_attempts\":%" PRIu64
                ",\"steals\":%" PRIu64 ",\"tasks_stolen\":%" PRIu64
                ",\"steal_success\":%.6f,\"cov\":%.6f,\"gini\":%.6f,"
                "\"ranks\":[",
                s.t, int(s.ranks.size()), s.alive, s.suspects, s.dead,
+               s.joins, s.grows,
                s.depth_sum, s.executed, s.steal_attempts, s.steals,
                s.tasks_stolen, s.steal_success, s.cov, s.gini);
   for (std::size_t i = 0; i < s.ranks.size(); ++i) {
@@ -145,6 +155,11 @@ void append_jsonl(MonState& m, const FleetSample& s) {
 int sample_locked(MonState& m, TimeNs now) {
   FleetSample s;
   s.t = now;
+  if (m.growth) {
+    std::pair<std::uint64_t, std::uint64_t> jg = m.growth();
+    s.joins = jg.first;
+    s.grows = jg.second;
+  }
   s.ranks.reserve(static_cast<std::size_t>(m.nranks));
   std::vector<std::uint64_t> alive_depths;
   int scraped = 0;
@@ -257,11 +272,18 @@ void monitor_stop() {
     m.out = nullptr;
   }
   m.liveness = nullptr;
+  m.growth = nullptr;
 }
 
 void monitor_set_liveness(std::function<RankState(Rank)> fn) {
   std::lock_guard<std::mutex> lk(mon().mu);
   mon().liveness = std::move(fn);
+}
+
+void monitor_set_growth(
+    std::function<std::pair<std::uint64_t, std::uint64_t>()> fn) {
+  std::lock_guard<std::mutex> lk(mon().mu);
+  mon().growth = std::move(fn);
 }
 
 void monitor_set_sample_hook(std::function<void(const FleetSample&)> fn) {

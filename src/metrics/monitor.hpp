@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "base/types.hpp"
@@ -63,6 +64,10 @@ struct FleetSample {
   int alive = 0;
   int suspects = 0;
   int dead = 0;
+  // Elastic growth rollup (detect::Stats joins/grows via the growth
+  // hook); both stay 0 for a static fleet.
+  std::uint64_t joins = 0;   // parked ranks admitted so far
+  std::uint64_t grows = 0;   // admission waves (join epoch bumps)
 };
 
 /// True between monitor_start() and monitor_stop().
@@ -79,6 +84,14 @@ void monitor_stop();
 /// use. Defaults to "everyone alive"; pgas::run_spmd installs one backed
 /// by the detector's membership view.
 void monitor_set_liveness(std::function<RankState(Rank)> fn);
+
+/// Installs the fleet-growth reader the sampler uses to fill
+/// FleetSample.joins/grows: returns {ranks admitted, admission waves}.
+/// Defaults to {0, 0}; pgas::run_spmd installs one backed by the
+/// membership view's counters (the monitor cannot link upward to
+/// detect). Pass nullptr to remove.
+void monitor_set_growth(
+    std::function<std::pair<std::uint64_t, std::uint64_t>()> fn);
 
 /// Installs a hook invoked with every FleetSample right after it is
 /// computed (before it is appended to the series), from the sampler's

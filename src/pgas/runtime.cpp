@@ -8,6 +8,7 @@
 #include "base/log.hpp"
 #include "control/control.hpp"
 #include "detect/membership.hpp"
+#include "elastic/elastic.hpp"
 #include "metrics/metrics.hpp"
 #include "metrics/monitor.hpp"
 #include "pgas/sim_backend.hpp"
@@ -597,6 +598,37 @@ RunResult run_spmd(const Config& cfg,
   const bool own_detect = dcfg.enabled && !detect::active();
   if (own_detect) {
     detect::set_config(dcfg);
+  }
+
+#if SCIOTO_ELASTIC_ENABLED
+  // SCIOTO_ELASTIC=1 arms elastic membership: join/ckpt rules in the fault
+  // plan become live, parked ranks wait for admission, and checkpoints are
+  // written to SCIOTO_CKPT_PATH (optionally every SCIOTO_CKPT_PERIOD of
+  // virtual time). Armed before the detector view so the parked tail is
+  // set at detect::start; a session the caller already armed takes
+  // precedence. Detector config staged above applies to the view elastic
+  // arms.
+  elastic::Config ecfg = elastic::config();
+  if (const char* v = std::getenv("SCIOTO_ELASTIC")) {
+    ecfg.enabled = *v != '\0' && *v != '0';
+  }
+  if (const char* v = std::getenv("SCIOTO_CKPT_PATH")) {
+    ecfg.ckpt_path = v;
+  }
+  if (const char* v = std::getenv("SCIOTO_CKPT_PERIOD")) {
+    ecfg.ckpt_period = fault::parse_time(v);
+  }
+  if (const char* v = std::getenv("SCIOTO_CKPT_RESTORE")) {
+    ecfg.restore_path = v;
+  }
+  const bool own_elastic = ecfg.enabled && !elastic::active();
+  if (own_elastic) {
+    elastic::set_config(ecfg);
+    elastic::start(cfg.nranks);
+  }
+#endif
+
+  if (own_detect && !detect::active()) {
     detect::start(cfg.nranks);
   }
 
@@ -670,6 +702,14 @@ RunResult run_spmd(const Config& cfg,
       if (!detect::alive(r)) return metrics::RankState::Dead;
       if (detect::suspected(r)) return metrics::RankState::Suspect;
       return metrics::RankState::Alive;
+    });
+    metrics::monitor_set_growth([] {
+      // A parked rank reports Dead through the classifier above (it has
+      // no seat in the fleet yet), so the alive+suspect+dead=nranks
+      // rollup stays closed; the joins/grows pair is what tells a
+      // growing fleet apart from a shrinking one.
+      detect::Stats ds = detect::stats();
+      return std::pair<std::uint64_t, std::uint64_t>(ds.joins, ds.grows);
     });
   }
 #if SCIOTO_CONTROL_ENABLED
@@ -747,7 +787,13 @@ RunResult run_spmd(const Config& cfg,
   }
 #endif
 
-  if (own_detect) {
+#if SCIOTO_ELASTIC_ENABLED
+  if (own_elastic) {
+    elastic::stop();  // disarms the detect view iff elastic armed it
+  }
+#endif
+
+  if (own_detect && detect::active()) {
     detect::stop();
   }
 

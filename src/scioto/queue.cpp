@@ -1324,6 +1324,22 @@ bool SplitQueue::add_remote(Rank target, const std::byte* task) {
   return ok;
 }
 
+std::uint64_t SplitQueue::snapshot_local(std::vector<std::byte>& out) {
+  Rank me = rt_.me();
+  Ctl& c = ctl(me);
+  std::uint64_t sh = sh_idx(c.steal_head.load(std::memory_order_acquire));
+  std::uint64_t pt = unfrozen(c.priv_tail.load(std::memory_order_acquire));
+  std::uint64_t n = pt > sh ? pt - sh : 0;
+  std::size_t base = out.size();
+  out.resize(base + static_cast<std::size_t>(n) * cfg_.slot_bytes);
+  if (n > 0) {
+    copy_span_raw(me, sh, n, out.data() + base);
+  }
+  const auto& ov = overflow_[static_cast<std::size_t>(me)];
+  out.insert(out.end(), ov.begin(), ov.end());
+  return n + static_cast<std::uint64_t>(ov.size() / cfg_.slot_bytes);
+}
+
 SplitQueue::Snapshot SplitQueue::debug_snapshot(Rank r) {
   Ctl& c = ctl(r);
   Snapshot s;

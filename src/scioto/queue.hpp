@@ -238,6 +238,19 @@ class SplitQueue {
   /// Moves stashed overflow tasks back into the queue as space allows.
   std::uint64_t flush_overflow();
 
+  // ---- Checkpoint (elastic quiesce only) ----
+  /// Owner-serialized snapshot of this rank's live descriptors -- the ring
+  /// span [steal_head, priv_tail) plus any overflow-stashed tasks --
+  /// appended to `out` as raw slot-sized records. Call only while the
+  /// fleet is quiesced: no concurrent thief can move steal_head and every
+  /// steal transaction is closed (an open one would double-count its chunk
+  /// -- the thief requeues it locally before arriving at the rendezvous).
+  /// Returns the number of descriptors appended. Restore is plain
+  /// push_local of each record (the private/shared split is not
+  /// checkpointed: it is policy, not state, and the restored owner's
+  /// release machinery rebuilds it).
+  std::uint64_t snapshot_local(std::vector<std::byte>& out);
+
   /// Collective: empties every queue (tc_reset).
   void reset_collective();
 

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "control/control.hpp"
+#include "elastic/elastic.hpp"
 #include "fault/fault.hpp"
 #include "metrics/metrics.hpp"
 #include "scioto/task_collection.hpp"
@@ -299,6 +300,91 @@ void scioto_detector_stats_get(scioto_detector_stats_t* out) {
   out->fence_aborts = s.fence_aborts;
   out->rejoins = s.rejoins;
   out->max_detect_latency_ns = s.max_detect_latency;
+}
+
+int scioto_elastic_enabled(void) {
+  return scioto::elastic::config().enabled ? 1 : 0;
+}
+
+void scioto_elastic_set(int enabled) {
+  scioto::elastic::Config c = scioto::elastic::config();
+  c.enabled = enabled != 0;
+  scioto::elastic::set_config(c);
+}
+
+namespace {
+// scioto_ckpt_path/scioto_ckpt_restore_path return pointers into
+// library-owned storage; keep a stable copy of the staged strings.
+std::string& ckpt_path_storage() {
+  static std::string s;
+  return s;
+}
+std::string& restore_path_storage() {
+  static std::string s;
+  return s;
+}
+}  // namespace
+
+const char* scioto_ckpt_path(void) {
+  ckpt_path_storage() = scioto::elastic::config().ckpt_path;
+  return ckpt_path_storage().c_str();
+}
+
+void scioto_ckpt_path_set(const char* path) {
+  scioto::elastic::Config c = scioto::elastic::config();
+  c.ckpt_path = path != nullptr ? path : "";
+  if (c.ckpt_path.empty()) {
+    c.ckpt_period = 0;  // a cadence without a path cannot stage
+  }
+  scioto::elastic::set_config(c);
+}
+
+int64_t scioto_ckpt_period_ns(void) {
+  return scioto::elastic::config().ckpt_period;
+}
+
+void scioto_ckpt_set_period_ns(int64_t period_ns) {
+  SCIOTO_REQUIRE(period_ns >= 0,
+                 "scioto_ckpt_set_period_ns: period must be >= 0");
+  scioto::elastic::Config c = scioto::elastic::config();
+  SCIOTO_REQUIRE(period_ns == 0 || !c.ckpt_path.empty(),
+                 "scioto_ckpt_set_period_ns: set scioto_ckpt_path_set first "
+                 "(a cadence needs somewhere to write)");
+  c.ckpt_period = period_ns;
+  scioto::elastic::set_config(c);
+}
+
+const char* scioto_ckpt_restore_path(void) {
+  restore_path_storage() = scioto::elastic::config().restore_path;
+  return restore_path_storage().c_str();
+}
+
+void scioto_ckpt_restore_set(const char* path) {
+  scioto::elastic::Config c = scioto::elastic::config();
+  c.restore_path = path != nullptr ? path : "";
+  scioto::elastic::set_config(c);
+}
+
+int scioto_ckpt_halt_after(void) {
+  return scioto::elastic::config().halt_after_ckpt ? 1 : 0;
+}
+
+void scioto_ckpt_set_halt_after(int halt) {
+  scioto::elastic::Config c = scioto::elastic::config();
+  c.halt_after_ckpt = halt != 0;
+  scioto::elastic::set_config(c);
+}
+
+void scioto_ckpt_request(void) { scioto::elastic::request_ckpt(); }
+
+void scioto_elastic_stats_get(scioto_elastic_stats_t* out) {
+  SCIOTO_REQUIRE(out != nullptr, "scioto_elastic_stats_get: NULL out");
+  scioto::elastic::Stats e = scioto::elastic::stats();
+  scioto::detect::Stats d = scioto::detect::stats();
+  out->checkpoints = e.checkpoints;
+  out->restores = e.restores;
+  out->joins = d.joins;
+  out->grows = d.grows;
 }
 
 int scioto_metrics_enabled(void) {

@@ -171,6 +171,58 @@ typedef struct scioto_detector_stats {
 
 void scioto_detector_stats_get(scioto_detector_stats_t* out);
 
+/* ---- Elastic membership --------------------------------------------------
+ * Runtime rank join and checkpoint/restore of task-collection state
+ * (src/elastic). Process-global and staged like the detector knobs: the
+ * setters apply to the next SPMD run (the SCIOTO_ELASTIC /
+ * SCIOTO_CKPT_PATH / SCIOTO_CKPT_PERIOD / SCIOTO_CKPT_RESTORE environment
+ * knobs override them). Join schedules come from the fault plan
+ * ("join:rank=6,at=2ms"); checkpoint points come from "ckpt:at=..."
+ * rules, the staged period, or scioto_ckpt_request() mid-run. */
+
+/// Nonzero when elastic membership is staged to arm on the next SPMD run.
+int scioto_elastic_enabled(void);
+void scioto_elastic_set(int enabled);
+
+/// Base path for checkpoint files: rank k writes "<path>.r<k>" and the
+/// quiesce leader writes the manifest at "<path>". "" disables writing.
+/// The returned pointer is library-owned, valid until the next set.
+const char* scioto_ckpt_path(void);
+void scioto_ckpt_path_set(const char* path);
+
+/// Periodic checkpoint cadence, in nanoseconds (virtual under the sim
+/// backend, wall-clock under threads). 0 disables the cadence; rules and
+/// explicit requests still fire.
+int64_t scioto_ckpt_period_ns(void);
+void scioto_ckpt_set_period_ns(int64_t period_ns);
+
+/// Manifest to restore queue state from at the start of the next
+/// tc_process ("" = no restore). Descriptors are re-dealt round-robin
+/// over the joined ranks, so the restoring fleet may have a different
+/// size than the one that wrote the checkpoint.
+const char* scioto_ckpt_restore_path(void);
+void scioto_ckpt_restore_set(const char* path);
+
+/// Nonzero to end tc_process right after the next checkpoint completes
+/// (checkpoint-then-exit; pair with a restore run).
+int scioto_ckpt_halt_after(void);
+void scioto_ckpt_set_halt_after(int halt);
+
+/// Requests one extra checkpoint from inside a running tc_process; the
+/// fleet quiesces at the next pump. Safe from any rank/thread.
+void scioto_ckpt_request(void);
+
+/// Elastic counters for the current (or last) armed session, plus the
+/// membership view's growth counters. All zero when elastic never ran.
+typedef struct scioto_elastic_stats {
+  uint64_t checkpoints;  /* snapshots this rank completed */
+  uint64_t restores;     /* restore passes (counted once, on rank 0) */
+  uint64_t joins;        /* parked ranks admitted into the fleet */
+  uint64_t grows;        /* admission waves (epoch bumps from joins) */
+} scioto_elastic_stats_t;
+
+void scioto_elastic_stats_get(scioto_elastic_stats_t* out);
+
 /* ---- Live metrics --------------------------------------------------------
  * The global-view telemetry plane: per-rank counters, gauges, and
  * latency histograms in a seqlock-snapshotted patch any rank can scrape

@@ -15,7 +15,9 @@
 //     have drained it, and reacquires shared tasks when it runs dry.
 #pragma once
 
+#include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "base/rng.hpp"
@@ -216,6 +218,20 @@ class TaskCollection {
     pending_hook_ = std::move(fn);
   }
 
+  // ---- Checkpoint hooks (elastic sessions; see src/elastic) ----
+  /// Installs rank-local serialization hooks for application state that
+  /// must ride along with a checkpoint (e.g. a rank's durable result
+  /// counters). The writer returns this rank's opaque blob at snapshot
+  /// time; the reader is invoked at restore once per source-rank blob this
+  /// rank was dealt. Rank-local like the scheduler hooks above; pass
+  /// empty functions to uninstall.
+  void set_ckpt_hooks(
+      std::function<std::vector<std::byte>()> writer,
+      std::function<void(Rank, const std::vector<std::byte>&)> reader) {
+    ckpt_writer_ = std::move(writer);
+    ckpt_reader_ = std::move(reader);
+  }
+
   // ---- Statistics ----
   /// This rank's counters from the last process() call.
   const TcStats& stats_local() const {
@@ -239,6 +255,26 @@ class TaskCollection {
   /// fence on our queue, re-enter the membership view in a new epoch, and
   /// force our next termination vote black.
   void fence_abort_and_rejoin();
+  /// Ward/victim-pool recomputation when the membership epoch moved.
+  void refresh_membership();
+  // ---- Elastic membership (src/elastic; bodies gated on the
+  // SCIOTO_ELASTIC build option) ----
+  /// Parked-rank wait loop: publishes the join request when due; returns
+  /// true on admission, false when the phase ended (termination broadcast
+  /// or fleet halt) while this rank was still parked.
+  bool parked_wait(TcStats& st);
+  /// Admitter duty (lowest joined-alive rank): batch-admits parked ranks
+  /// with a published join request under one membership epoch bump.
+  void elastic_admit_scan();
+  /// Quiesces the fleet at checkpoint generation `gen` and writes this
+  /// rank's part file (the leader also writes the manifest). Returns
+  /// false when the snapshot was aborted because the phase terminated
+  /// underneath it.
+  bool quiesce_and_checkpoint(std::uint64_t gen, TcStats& st);
+  /// Collective restore at process() entry: deals the manifest's
+  /// descriptors round-robin across the joined ranks of this (possibly
+  /// different-sized) fleet.
+  void restore_from(const std::string& path);
   TcStats& my_stats() { return stats_[static_cast<std::size_t>(rt_.me())]; }
 
   pgas::Runtime& rt_;
@@ -270,6 +306,13 @@ class TaskCollection {
   /// Scheduler-extension hooks (see set_idle_hook / set_pending_hook).
   std::function<std::uint64_t()> idle_hook_;
   std::function<bool()> pending_hook_;
+  /// Elastic control patch (join-request / quiesce-arrival / ckpt-done
+  /// words), allocated only when an elastic session is armed.
+  pgas::SegId eseg_ = -1;
+  std::uint64_t ckpt_gen_done_ = 0;  // latest checkpoint generation handled
+  bool restore_done_ = false;  // the collective restore ran at first entry
+  std::function<std::vector<std::byte>()> ckpt_writer_;
+  std::function<void(Rank, const std::vector<std::byte>&)> ckpt_reader_;
   bool live_ = true;
 };
 

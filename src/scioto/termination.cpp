@@ -107,7 +107,8 @@ void TerminationDetector::maybe_resplice(LocalState& st) {
   // before the death, so termination is never declared early.
   st.wave_seen = 0;
   st.voted_wave = 0;
-  st.self_black = true;
+  st.self_black = !st.join_white;
+  st.join_white = false;
   my_counters().resplices++;
   SCIOTO_TRACE_EVENT(me, trace::Ev::TreeRespliced, static_cast<long long>(e),
                      static_cast<long long>(st.alive.size()), 0);
@@ -172,6 +173,40 @@ void TerminationDetector::note_lb_op(Rank other) {
 
 void TerminationDetector::mark_self_black() {
   state_[static_cast<std::size_t>(rt_.me())].self_black = true;
+}
+
+void TerminationDetector::arm_join_white() {
+  state_[static_cast<std::size_t>(rt_.me())].join_white = true;
+}
+
+bool TerminationDetector::term_seen_local() {
+  Rank me = rt_.me();
+  if (state_[static_cast<std::size_t>(me)].terminated) {
+    return true;
+  }
+  return aref(ctl(me).term_wave).load(std::memory_order_acquire) != 0;
+}
+
+bool TerminationDetector::poll_term_remote() {
+  Rank me = rt_.me();
+  LocalState& st = state_[static_cast<std::size_t>(me)];
+  if (st.terminated) {
+    return true;
+  }
+  std::vector<Rank> alive = detect::alive_ranks();
+  if (alive.empty() || alive.front() == me) {
+    return false;
+  }
+  std::uint64_t tw = 0;
+  pgas::OpStatus pst = rt_.get_u64_with_retry(
+      seg_, alive.front(), offsetof(TdCtl, term_wave), &tw);
+  if (pst != pgas::OpStatus::Dropped && tw != 0) {
+    aref(ctl(me).term_wave).store(tw, std::memory_order_relaxed);
+    st.terminated = true;
+    SCIOTO_TRACE_EVENT(me, trace::Ev::Terminate, tw, 0, 0);
+    return true;
+  }
+  return false;
 }
 
 TerminationDetector::Status TerminationDetector::step() {

@@ -93,6 +93,29 @@ class TerminationDetector {
   /// (used when work appears locally through fault recovery).
   void mark_self_black();
 
+  // ---- Elastic membership (src/elastic) ----
+
+  /// Parked-rank poll: a rank with no seat in the tree receives no
+  /// termination broadcast, so it reads the current tree root's term flag
+  /// one-sidedly (through the retrying failure-aware read). Returns true
+  /// once termination is decided and latches local terminated state so a
+  /// later step() agrees.
+  bool poll_term_remote();
+
+  /// Local-only: true once a termination decision has landed in this
+  /// rank's mailbox (or was adopted). The elastic quiesce wait uses this
+  /// to abort a checkpoint racing the end of the phase -- an all-white
+  /// wave certifies there is globally no work left to save.
+  bool term_seen_local();
+
+  /// Joiner-only, call once right after admission: the next resplice
+  /// casts a white vote instead of the forced-black first vote. Safe
+  /// because a joiner enters with no work and no LB history -- the
+  /// admission epoch bump already forces every incumbent's next vote
+  /// black, which protects any wave that straddles the join. Without
+  /// this, an idle joiner would black out one extra full wave per join.
+  void arm_join_white();
+
   const Counters& counters() const {
     return counters_[static_cast<std::size_t>(rt_.me())];
   }
@@ -127,6 +150,7 @@ class TerminationDetector {
     std::uint64_t wave_seen = 0;   // latest down-wave observed/forwarded
     std::uint64_t voted_wave = 0;  // latest wave we passed a token up for
     bool self_black = false;       // LB op performed since last vote
+    bool join_white = false;       // next resplice votes white (joiner)
     bool term_forwarded = false;
     bool terminated = false;
     // Spanning-tree neighbours; static heap positions until a fault epoch

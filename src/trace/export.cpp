@@ -243,6 +243,30 @@ void emit_event(std::ostream& os, const Event& e) {
       os << ",\"s\":\"t\",\"args\":{\"knob\":" << e.a
          << ",\"value\":" << e.b << ",\"reason\":" << e.c << "}}";
       return;
+    case Ev::JoinRequest:
+      emit_head(os, e, ev_name(e.kind), "i", e.t);
+      os << ",\"s\":\"t\",\"args\":{\"rank\":" << e.a << "}}";
+      return;
+    case Ev::JoinAdmit:
+      emit_head(os, e, ev_name(e.kind), "i", e.t);
+      os << ",\"s\":\"t\",\"args\":{\"joiner\":" << e.a
+         << ",\"admitter\":" << e.b << ",\"epoch\":" << e.c << "}}";
+      return;
+    case Ev::Quiesce:
+      emit_head(os, e, ev_name(e.kind), "i", e.t);
+      os << ",\"s\":\"t\",\"args\":{\"gen\":" << e.a
+         << ",\"participants\":" << e.b << ",\"dur_ns\":" << e.c << "}}";
+      return;
+    case Ev::Checkpoint:
+      emit_head(os, e, ev_name(e.kind), "i", e.t);
+      os << ",\"s\":\"t\",\"args\":{\"gen\":" << e.a
+         << ",\"tasks\":" << e.b << ",\"bytes\":" << e.c << "}}";
+      return;
+    case Ev::Restore:
+      emit_head(os, e, ev_name(e.kind), "i", e.t);
+      os << ",\"s\":\"t\",\"args\":{\"parts\":" << e.a
+         << ",\"tasks\":" << e.b << ",\"bytes\":" << e.c << "}}";
+      return;
   }
 }
 

@@ -87,6 +87,16 @@ const char* ev_name(Ev kind) {
       return "conflict_retry";
     case Ev::KnobChange:
       return "knob_change";
+    case Ev::JoinRequest:
+      return "join_request";
+    case Ev::JoinAdmit:
+      return "join_admit";
+    case Ev::Quiesce:
+      return "quiesce";
+    case Ev::Checkpoint:
+      return "checkpoint";
+    case Ev::Restore:
+      return "restore";
   }
   return "?";
 }

@@ -91,6 +91,16 @@ enum class Ev : std::uint8_t {
   // traces stay byte-identical to pre-control baselines.
   KnobChange,     // a=knob (control::Knob), b=applied value,
                   //   c=reason (control::Reason)
+  // Elastic membership (src/elastic). Appended so elastic-off traces stay
+  // byte-identical to pre-elastic baselines.
+  JoinRequest,    // a=requesting (parked) rank
+  JoinAdmit,      // a=admitted rank, b=admitting rank, c=new epoch
+  Quiesce,        // a=checkpoint generation, b=joined-alive participant
+                  //   count, c=wait duration (ns)
+  Checkpoint,     // a=checkpoint generation, b=descriptors snapshotted on
+                  //   this rank, c=snapshot bytes (part payload)
+  Restore,        // a=source (saved) rank count, b=descriptors restored on
+                  //   this rank, c=restored bytes
 };
 
 /// Human-readable kind name (used by the exporter and analyses).

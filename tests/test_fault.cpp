@@ -73,6 +73,34 @@ TEST(FaultPlan, RejectsMalformedSpecs) {
                std::runtime_error);
 }
 
+TEST(FaultPlan, RuleNamingRankOutsideTheRunFailsFastAtStart) {
+  // The parser cannot range-check (it does not know nranks), so the check
+  // lives at fault::start -- and the error must echo the offending rule,
+  // or a multi-event plan's range error is undebuggable.
+  fault::FaultPlan kill8 =
+      fault::FaultPlan::parse("kill:rank=1,at=1ms;kill:rank=8,at=2ms");
+  try {
+    fault::start(8, std::move(kill8), 7);
+    fault::stop();
+    FAIL() << "fault::start accepted a rule for rank 8 in an 8-rank run";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("nranks=8"), std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("kill rank=8"), std::string::npos)
+        << e.what();
+  }
+  // Elastic join rules go through the same gate.
+  fault::FaultPlan join9 = fault::FaultPlan::parse("join:rank=9,at=2ms");
+  try {
+    fault::start(8, std::move(join9), 7);
+    fault::stop();
+    FAIL() << "fault::start accepted a join rule for rank 9 in an 8-rank run";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("join rank=9"), std::string::npos)
+        << e.what();
+  }
+}
+
 TEST(FaultPlan, ParsesTimeUnits) {
   EXPECT_EQ(fault::parse_time("250"), 250);
   EXPECT_EQ(fault::parse_time("250ns"), 250);
