@@ -12,7 +12,10 @@
 // with Scioto ahead (no explicit polling); the no-split variant collapses
 // to a flat line because every local queue operation contends for the
 // same lock remote thieves use.
+#include <algorithm>
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "apps/uts/uts_drivers.hpp"
 #include "base/options.hpp"
@@ -20,7 +23,9 @@
 #include "fault/fault.hpp"
 #include "metrics/metrics.hpp"
 #include "metrics/monitor.hpp"
+#include "trace/analysis.hpp"
 #include "trace/export.hpp"
+#include "trace/lineage.hpp"
 #include "trace/trace.hpp"
 
 using namespace scioto;
@@ -30,14 +35,20 @@ namespace {
 
 UtsResult run_one(int procs, const UtsParams& tree, const UtsRunConfig& rc,
                   bool mpi_ws, const std::string& trace_file = "",
-                  const std::string& fault_spec = "", bool live = false) {
+                  const std::string& fault_spec = "", bool live = false,
+                  bool flow = false, const std::string& flow_json = "") {
   pgas::Config cfg;
   cfg.nranks = procs;
   cfg.backend = pgas::BackendKind::Sim;
   cfg.machine = sim::cluster2008();  // heterogeneous: half Opteron half Xeon
-  const bool tracing = !trace_file.empty();
+  // --flow needs the trace rings even when no Chrome file was asked for:
+  // the lineage analytics below rebuild the causal timeline from them.
+  const bool tracing = !trace_file.empty() || flow;
   if (tracing) {
     trace::start(procs);
+  }
+  if (flow) {
+    trace::lineage::start(procs);
   }
   // --fault-plan routes the split-queue series through the fault-tolerant
   // driver: ranks die mid-traversal, survivors adopt their work, and the
@@ -82,8 +93,72 @@ UtsResult run_one(int procs, const UtsParams& tree, const UtsRunConfig& rc,
     fault::stop();
   }
   if (tracing) {
-    if (trace::write_chrome_trace_file(trace_file)) {
+    if (!trace_file.empty() && trace::write_chrome_trace_file(trace_file)) {
       std::printf("trace: wrote %s (%d ranks)\n", trace_file.c_str(), procs);
+    }
+    if (flow) {
+      std::vector<trace::Event> evs = trace::all_events();
+      trace::LineageReport rep =
+          trace::lineage_report(evs, procs, trace::total_dropped());
+      trace::CriticalPath cp = trace::critical_path(rep, evs, procs);
+      trace::critical_path_table(cp).print(
+          "weighted critical path at max procs (longest spawn -> steal -> "
+          "exec chain)");
+      std::vector<int> order(cp.rank_blame.size());
+      for (std::size_t i = 0; i < order.size(); ++i) {
+        order[i] = static_cast<int>(i);
+      }
+      std::sort(order.begin(), order.end(), [&](int a, int b) {
+        if (cp.rank_blame[a] != cp.rank_blame[b]) {
+          return cp.rank_blame[a] > cp.rank_blame[b];
+        }
+        return a < b;
+      });
+      std::printf("critical-path blame:");
+      for (std::size_t i = 0; i < order.size() && i < 3; ++i) {
+        std::printf("%s rank %d (%.1f us)", i ? "," : "", order[i],
+                    static_cast<double>(cp.rank_blame[order[i]]) / 1e3);
+      }
+      std::printf(" -- %.1f us total over %llu tasks, "
+                  "spawn-to-exec p99 %llu ns, %zu hb violations\n",
+                  static_cast<double>(cp.length) / 1e3,
+                  static_cast<unsigned long long>(cp.tasks),
+                  static_cast<unsigned long long>(
+                      rep.spawn_to_exec.percentile(99)),
+                  rep.violations.size());
+      if (!flow_json.empty()) {
+        std::FILE* f = std::fopen(flow_json.c_str(), "w");
+        SCIOTO_CHECK_MSG(f != nullptr, "cannot open " << flow_json);
+        std::fprintf(f, "{\n  \"workload\": \"%s\",\n  \"procs\": %d,\n",
+                     uts_describe(tree).c_str(), procs);
+        std::fprintf(f, "  \"tasks_spawned\": %llu,\n"
+                     "  \"tasks_executed\": %llu,\n  \"migrations\": %llu,\n",
+                     static_cast<unsigned long long>(rep.spawns),
+                     static_cast<unsigned long long>(rep.execs),
+                     static_cast<unsigned long long>(rep.migrations));
+        std::fprintf(f, "  \"hb_violations\": %zu,\n  \"max_hops\": %llu,\n",
+                     rep.violations.size(),
+                     static_cast<unsigned long long>(rep.max_hops));
+        std::fprintf(f, "  \"spawn_exec_p50_ns\": %llu,\n"
+                     "  \"spawn_exec_p99_ns\": %llu,\n"
+                     "  \"spawn_exec_max_ns\": %llu,\n",
+                     static_cast<unsigned long long>(
+                         rep.spawn_to_exec.percentile(50)),
+                     static_cast<unsigned long long>(
+                         rep.spawn_to_exec.percentile(99)),
+                     static_cast<unsigned long long>(rep.spawn_to_exec.max));
+        std::fprintf(f, "  \"critical_path_ns\": %lld,\n"
+                     "  \"critical_path_exec_ns\": %lld,\n"
+                     "  \"critical_path_queue_ns\": %lld,\n"
+                     "  \"critical_path_tasks\": %llu\n}\n",
+                     static_cast<long long>(cp.length),
+                     static_cast<long long>(cp.exec_ns),
+                     static_cast<long long>(cp.queue_ns),
+                     static_cast<unsigned long long>(cp.tasks));
+        std::fclose(f);
+        std::printf("flow json: wrote %s\n", flow_json.c_str());
+      }
+      trace::lineage::stop();
     }
     trace::stop();
   }
@@ -96,6 +171,10 @@ int main(int argc, char** argv) {
   Options opts("bench_fig7_uts_cluster",
                "Figure 7: UTS on the heterogeneous cluster");
   opts.add_int("scale", 11, "geometric tree depth (gen_mx); 11 ~= 408k nodes");
+  opts.add_string("tree", "geo",
+                  "tree family: geo (paper's Figure 7 workload) | bin (the "
+                  "T2 bursty binomial from the control-plane benches; "
+                  "--scale sets the root burst b0)");
   opts.add_int("max-procs", 64, "largest process count");
   opts.add_int("chunk", 10, "steal chunk size");
   opts.add_string("trace", "",
@@ -108,8 +187,21 @@ int main(int argc, char** argv) {
   opts.add_flag("live", false,
                 "render the live fleet dashboard (queue depths, imbalance, "
                 "steal rates) during the split-queue run at max-procs");
+  opts.add_flag("flow", false,
+                "stamp task lineage on the split-queue run at max-procs: "
+                "flow arrows in --trace output, critical path + top-3 "
+                "blame ranks printed after the run");
+  opts.add_string("flow-json", "",
+                  "write the --flow lineage stats (spawn-to-exec p99, "
+                  "critical path) as JSON to this file");
   if (!opts.parse(argc, argv)) return 0;
   const bool live = opts.get_flag("live");
+  bool flow = opts.get_flag("flow");
+  if (flow && !SCIOTO_LINEAGE_ENABLED) {
+    std::printf("--flow: lineage compiled out (SCIOTO_LINEAGE=OFF); "
+                "skipping flow analytics\n");
+    flow = false;
+  }
   if (live && !SCIOTO_METRICS_ENABLED) {
     std::printf("--live: metrics compiled out (SCIOTO_METRICS=OFF); "
                 "skipping dashboard\n");
@@ -117,6 +209,21 @@ int main(int argc, char** argv) {
 
   UtsParams tree = uts_bench();
   tree.gen_mx = static_cast<int>(opts.get_int("scale"));
+  if (opts.get_string("tree") == "bin") {
+    // The T2 bursty binomial from bench_control_uts: a wide root burst
+    // (b0 children at once) into near-critical binomial decay -- the
+    // workload whose steal chains make the lineage critical path
+    // interesting. --scale overrides the burst width.
+    tree = UtsParams{};
+    tree.tree = UtsTree::Binomial;
+    tree.seed = 42;
+    tree.b0 = 2000;
+    tree.q = 0.120;
+    tree.m = 8;
+    if (opts.get_int("scale") != 11) {
+      tree.b0 = static_cast<int>(opts.get_int("scale"));
+    }
+  }
   UtsCounts expected = uts_sequential(tree);
   std::printf("workload: %s, %llu nodes\n", uts_describe(tree).c_str(),
               static_cast<unsigned long long>(expected.nodes));
@@ -134,7 +241,9 @@ int main(int argc, char** argv) {
     const std::string fault_spec =
         p == maxp ? opts.get_string("fault-plan") : std::string();
     UtsResult split = run_one(p, tree, split_rc, /*mpi_ws=*/false, trace_file,
-                              fault_spec, live && p == maxp);
+                              fault_spec, live && p == maxp, flow && p == maxp,
+                              p == maxp ? opts.get_string("flow-json")
+                                        : std::string());
     SCIOTO_CHECK_MSG(split.counts == expected, "split traversal mismatch");
 
     UtsResult mpi = run_one(p, tree, rc, /*mpi_ws=*/true);

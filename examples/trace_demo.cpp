@@ -16,6 +16,7 @@
 #include "scioto/task_collection.hpp"
 #include "trace/analysis.hpp"
 #include "trace/export.hpp"
+#include "trace/lineage.hpp"
 #include "trace/trace.hpp"
 
 using namespace scioto;
@@ -35,7 +36,16 @@ int main(int argc, char** argv) {
   opts.add_int("depth", 12, "depth of the spawned binary task tree");
   opts.add_int("work", 5000, "virtual compute cost per task (ns, sim only)");
   opts.add_string("out", "trace.json", "Chrome trace JSON output file");
+  opts.add_flag("flow", false,
+                "stamp task lineage: cross-rank flow arrows in the trace, "
+                "plus the critical path and span analytics after the run");
   if (!opts.parse(argc, argv)) return 0;
+  bool flow = opts.get_flag("flow");
+  if (flow && !SCIOTO_LINEAGE_ENABLED) {
+    std::printf("--flow: lineage compiled out (SCIOTO_LINEAGE=OFF); "
+                "skipping flow analytics\n");
+    flow = false;
+  }
 
   pgas::Config cfg;
   cfg.nranks = static_cast<int>(opts.get_int("ranks"));
@@ -47,6 +57,10 @@ int main(int argc, char** argv) {
   const TimeNs work = opts.get_int("work");
 
   trace::start(cfg.nranks);
+  // A demo-owned lineage session (run_spmd leaves an already-active one
+  // to its owner): every task gets an id/parent/hops trailer and the
+  // SpawnEdge/MigrateEdge/ExecSpan events land in the trace rings above.
+  if (flow) trace::lineage::start(cfg.nranks);
   TcStats stats;
   pgas::run_spmd(cfg, [&](pgas::Runtime& rt) {
     // A binary tree processed depth-first keeps the private queue only
@@ -117,6 +131,46 @@ int main(int argc, char** argv) {
   }
   std::printf("peak queue occupancy across ranks: %lld tasks\n",
               static_cast<long long>(peak));
+
+  if (flow) {
+    trace::LineageReport rep =
+        trace::lineage_report(evs, n, trace::total_dropped());
+    trace::lineage_table(rep).print(
+        "lineage span analytics (spawn -> steal -> exec)");
+    std::printf("lineage: %llu migrations vs %llu tasks stolen in TcStats, "
+                "%zu happens-before violations\n",
+                static_cast<unsigned long long>(rep.migrations),
+                static_cast<unsigned long long>(stats.tasks_stolen),
+                rep.violations.size());
+    for (const std::string& v : rep.violations) {
+      std::printf("  violation: %s\n", v.c_str());
+    }
+
+    trace::CriticalPath cp = trace::critical_path(rep, evs, n);
+    trace::critical_path_table(cp).print(
+        "weighted critical path (longest spawn -> steal -> exec chain)");
+    // Top-3 blame ranks: where the path actually spent its time.
+    std::vector<int> order(cp.rank_blame.size());
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      order[i] = static_cast<int>(i);
+    }
+    std::sort(order.begin(), order.end(), [&](int a, int b) {
+      if (cp.rank_blame[a] != cp.rank_blame[b]) {
+        return cp.rank_blame[a] > cp.rank_blame[b];
+      }
+      return a < b;
+    });
+    std::printf("critical-path blame:");
+    for (std::size_t i = 0; i < order.size() && i < 3; ++i) {
+      std::printf("%s rank %d (%.1f us)", i ? "," : "", order[i],
+                  static_cast<double>(cp.rank_blame[order[i]]) / 1e3);
+    }
+    std::printf(" -- %.1f us total, %.1f us exec / %.1f us waiting\n",
+                static_cast<double>(cp.length) / 1e3,
+                static_cast<double>(cp.exec_ns) / 1e3,
+                static_cast<double>(cp.queue_ns) / 1e3);
+    trace::lineage::stop();
+  }
 
   trace::stop();
   return 0;

@@ -15,6 +15,7 @@
 #include "base/error.hpp"
 #include "base/log.hpp"
 #include "metrics/metrics.hpp"
+#include "trace/trace.hpp"
 
 namespace scioto::metrics {
 
@@ -97,12 +98,20 @@ void render_live(MonState& m, const FleetSample& s) {
     std::snprintf(growth, sizeof(growth), " joins=%" PRIu64 "/%" PRIu64,
                   s.joins, s.grows);
   }
+  char drops[40];
+  drops[0] = '\0';
+  if (s.trace_dropped > 0) {
+    // Traced runs only, and only once a ring has wrapped: the headline
+    // row is where event loss must be impossible to miss.
+    std::snprintf(drops, sizeof(drops), " tracedrop=%" PRIu64,
+                  s.trace_dropped);
+  }
   std::printf("\x1b[K[monitor] t=%10.3fms alive=%d/%d suspect=%d dead=%d%s "
               "inflight=%" PRIu64 " cov=%.2f gini=%.2f steal%%=%.1f "
-              "exec=%" PRIu64 "\n",
+              "exec=%" PRIu64 "%s\n",
               double(s.t) / 1e6, s.alive, int(s.ranks.size()), s.suspects,
               s.dead, growth, s.depth_sum, s.cov, s.gini,
-              100.0 * s.steal_success, s.executed);
+              100.0 * s.steal_success, s.executed, drops);
   ++lines;
   std::uint64_t maxd = 1;
   for (const RankSample& r : s.ranks) maxd = std::max(maxd, r.depth);
@@ -134,19 +143,22 @@ void append_jsonl(MonState& m, const FleetSample& s) {
                ",\"executed\":%" PRIu64 ",\"steal_attempts\":%" PRIu64
                ",\"steals\":%" PRIu64 ",\"tasks_stolen\":%" PRIu64
                ",\"steal_success\":%.6f,\"cov\":%.6f,\"gini\":%.6f,"
-               "\"ranks\":[",
+               "\"trace_dropped\":%" PRIu64 ",\"ranks\":[",
                s.t, int(s.ranks.size()), s.alive, s.suspects, s.dead,
                s.joins, s.grows,
                s.depth_sum, s.executed, s.steal_attempts, s.steals,
-               s.tasks_stolen, s.steal_success, s.cov, s.gini);
+               s.tasks_stolen, s.steal_success, s.cov, s.gini,
+               s.trace_dropped);
   for (std::size_t i = 0; i < s.ranks.size(); ++i) {
     const RankSample& r = s.ranks[i];
     std::fprintf(m.out,
                  "%s{\"r\":%d,\"state\":%d,\"depth\":%" PRIu64
                  ",\"shared\":%" PRIu64 ",\"executed\":%" PRIu64
-                 ",\"steals\":%" PRIu64 ",\"stolen\":%" PRIu64 "}",
+                 ",\"steals\":%" PRIu64 ",\"stolen\":%" PRIu64
+                 ",\"tdrop\":%" PRIu64 "}",
                  i ? "," : "", r.r, static_cast<int>(r.state), r.depth,
-                 r.shared, r.executed, r.steals, r.stolen);
+                 r.shared, r.executed, r.steals, r.stolen,
+                 r.trace_dropped);
   }
   std::fprintf(m.out, "]}\n");
   std::fflush(m.out);
@@ -175,6 +187,11 @@ int sample_locked(MonState& m, TimeNs now) {
     rs.executed = snap.ctr(Ctr::TasksExecuted);
     rs.steals = snap.ctr(Ctr::Steals);
     rs.stolen = snap.ctr(Ctr::TasksStolen);
+    // Ring drops come from the trace plane, not the metric patch: the
+    // sink counter is rank-owned and monotone, so this read is as safe
+    // as the seqlock scrape (and exactly 0 without a trace session).
+    rs.trace_dropped = trace::dropped(r);
+    s.trace_dropped += rs.trace_dropped;
     s.executed += rs.executed;
     s.steal_attempts += snap.ctr(Ctr::StealAttempts);
     s.steals += rs.steals;

@@ -48,6 +48,11 @@ struct RankSample {
   std::uint64_t executed = 0;
   std::uint64_t steals = 0;   // successful steals by this rank
   std::uint64_t stolen = 0;   // tasks this rank received by stealing
+  /// Trace events this rank's ring has overwritten so far (0 without an
+  /// active trace session). Until now only the exporter reported drops,
+  /// so a live run could silently lose events; the rollup surfaces the
+  /// loss while the run can still be re-launched with a bigger ring.
+  std::uint64_t trace_dropped = 0;
 };
 
 struct FleetSample {
@@ -68,6 +73,7 @@ struct FleetSample {
   // hook); both stay 0 for a static fleet.
   std::uint64_t joins = 0;   // parked ranks admitted so far
   std::uint64_t grows = 0;   // admission waves (join epoch bumps)
+  std::uint64_t trace_dropped = 0;  // fleet total of per-rank ring drops
 };
 
 /// True between monitor_start() and monitor_stop().

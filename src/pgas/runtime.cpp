@@ -14,6 +14,7 @@
 #include "pgas/sim_backend.hpp"
 #include "pgas/thread_backend.hpp"
 #include "trace/export.hpp"
+#include "trace/lineage.hpp"
 #include "trace/trace.hpp"
 
 namespace scioto::pgas {
@@ -563,6 +564,23 @@ RunResult run_spmd(const Config& cfg,
   }
 #endif
 
+#if SCIOTO_LINEAGE_ENABLED
+  // SCIOTO_LINEAGE=1 arms causal task lineage: every descriptor carries
+  // an id/parent/hops trailer and the spawn/migrate/exec edges land in
+  // the trace stream (visible only when a trace session is also active).
+  // Enablement can also be staged through the C API
+  // (scioto_lineage_set); a session the caller already started (e.g.
+  // `trace_demo --flow`) takes precedence and owns shutdown.
+  trace::lineage::Config lcfg = trace::lineage::config();
+  if (const char* v = std::getenv("SCIOTO_LINEAGE")) {
+    lcfg.enabled = *v != '\0' && *v != '0';
+  }
+  const bool own_lineage = lcfg.enabled && !trace::lineage::active();
+  if (own_lineage) {
+    trace::lineage::start(cfg.nranks);
+  }
+#endif
+
   // SCIOTO_FAULT_PLAN=SPEC arms fault injection for any binary. As with
   // tracing, a session the caller already started takes precedence.
   const char* fault_spec = std::getenv("SCIOTO_FAULT_PLAN");
@@ -759,6 +777,15 @@ RunResult run_spmd(const Config& cfg,
   if (own_trace) {
     trace::write_chrome_trace_file(trace_out);
     trace::stop();
+  }
+#endif
+
+#if SCIOTO_LINEAGE_ENABLED
+  // After the trace export above: the flow events it renders were
+  // recorded into the trace rings, which the lineage session does not
+  // own.
+  if (own_lineage) {
+    trace::lineage::stop();
   }
 #endif
 

@@ -6,6 +6,7 @@
 #include "detect/membership.hpp"
 #include "metrics/metrics.hpp"
 #include "scioto/task.hpp"
+#include "trace/lineage.hpp"
 #include "trace/trace.hpp"
 
 namespace scioto {
@@ -1191,6 +1192,26 @@ int SplitQueue::steal_from(Rank victim, std::byte* out) {
     counters().steals_in++;
     counters().tasks_stolen_in += static_cast<std::uint64_t>(n);
     SCIOTO_TRACE_EVENT(rt_.me(), trace::Ev::StealOk, victim, n, 0);
+#if SCIOTO_LINEAGE_ENABLED
+    if (cfg_.lineage_off != 0 && victim != rt_.me()) {
+      // The thief stamps the migration into its landed copy (the
+      // victim's slots are dead or replayable either way): one hop bump
+      // and one MigrateEdge per task, so per-task hop counts and the
+      // steal matrix reconcile one-for-one. The self-steal guard keeps
+      // the wait-free owner reacquire -- a reclaim, not a migration --
+      // out of the lineage stream.
+      for (int i = 0; i < n; ++i) {
+        std::byte* slot =
+            out + static_cast<std::size_t>(i) * cfg_.slot_bytes;
+        trace::lineage::LineageRec rec;
+        std::memcpy(&rec, slot + cfg_.lineage_off, sizeof(rec));
+        rec.hops += 1;
+        std::memcpy(slot + cfg_.lineage_off, &rec, sizeof(rec));
+        SCIOTO_TRACE_EVENT(rt_.me(), trace::Ev::MigrateEdge, victim,
+                           rec.hops, rec.id);
+      }
+    }
+#endif
     SCIOTO_METRIC_CTR(rt_.me(), metrics::Ctr::Steals, 1);
     SCIOTO_METRIC_CTR(rt_.me(), metrics::Ctr::TasksStolen, n);
     if (SCIOTO_METRICS_ON()) {

@@ -97,6 +97,13 @@ class SplitQueue {
     /// Whole-descriptor slot size in bytes (header + max body); rounded
     /// up to a multiple of 8 internally (the wait-free copy is word-wise).
     std::size_t slot_bytes = 64;
+    /// Byte offset of the causal-lineage trailer inside each slot, or 0
+    /// when no lineage session is armed. Nonzero makes a successful
+    /// steal_from bump each landed record's hop count and emit one
+    /// MigrateEdge per task -- the single choke point all three steal
+    /// protocols (and the owner's self-steal reacquire, which is exempt)
+    /// funnel through. Set by TaskCollection; collectively uniform.
+    std::size_t lineage_off = 0;
     /// Per-rank capacity in tasks (the paper's max_tasks).
     std::uint64_t capacity = 1 << 16;
     /// Steal granularity in tasks (the paper's chunk_size). With a live

@@ -13,6 +13,9 @@
 #include "fault/fault.hpp"
 #include "metrics/metrics.hpp"
 #include "scioto/task_collection.hpp"
+#include "trace/analysis.hpp"
+#include "trace/lineage.hpp"
+#include "trace/trace.hpp"
 
 namespace {
 
@@ -513,6 +516,47 @@ void scioto_ctl_stats_get(scioto_ctl_stats_t* out) {
 
 const char* tc_queue_mode(tc_t tc) {
   return scioto::queue_mode_name(collection(tc).queue_mode());
+}
+
+int scioto_lineage_enabled(void) {
+  return scioto::trace::lineage::config().enabled ? 1 : 0;
+}
+
+void scioto_lineage_set(int enabled) {
+  scioto::trace::lineage::Config c = scioto::trace::lineage::config();
+  c.enabled = enabled != 0;
+  scioto::trace::lineage::set_config(c);
+}
+
+int scioto_lineage_report_get(scioto_lineage_report_t* out) {
+  SCIOTO_REQUIRE(out != nullptr, "scioto_lineage_report_get: NULL out");
+  std::memset(out, 0, sizeof(*out));
+#if SCIOTO_LINEAGE_ENABLED
+  if (!scioto::trace::lineage::active() || !scioto::trace::active()) {
+    return -1;
+  }
+  const int nranks = scioto::trace::session_nranks();
+  const std::vector<scioto::trace::Event> events =
+      scioto::trace::all_events();
+  const scioto::trace::LineageReport rep = scioto::trace::lineage_report(
+      events, nranks, scioto::trace::total_dropped());
+  const scioto::trace::CriticalPath cp =
+      scioto::trace::critical_path(rep, events, nranks);
+  out->tasks_spawned = rep.spawns;
+  out->tasks_executed = rep.execs;
+  out->migrations = rep.migrations;
+  out->max_hops = rep.max_hops;
+  out->violations = rep.violations.size();
+  out->ring_dropped = rep.dropped;
+  out->critical_path_ns = cp.length;
+  out->spawn_exec_p50_ns =
+      static_cast<int64_t>(rep.spawn_to_exec.percentile(50));
+  out->spawn_exec_p99_ns =
+      static_cast<int64_t>(rep.spawn_to_exec.percentile(99));
+  return 0;
+#else
+  return -1;
+#endif
 }
 
 int tc_knob_get(tc_t tc, const char* name, int64_t* value) {

@@ -359,6 +359,38 @@ typedef struct scioto_dag_stats {
 /// Collective: fills `out` with global statistics from the last execute.
 void scioto_dag_stats_get(scioto_dag_t dag, scioto_dag_stats_t* out);
 
+/* ---- Causal task lineage -------------------------------------------------
+ * Per-task causal records (id / parent / hop count) carried through the
+ * descriptor wire format, plus the post-run critical-path analyzer over
+ * the recorded SpawnEdge/MigrateEdge/ExecSpan stream (src/trace/
+ * lineage.hpp). Process-global and staged like the detector knobs:
+ * scioto_lineage_set() arms a session inside the next SPMD run (the
+ * SCIOTO_LINEAGE environment knob overrides it). The report needs both a
+ * lineage session and a trace session (the edges live in the trace
+ * rings), read after tc_process and before run teardown. No-ops /
+ * returns -1 in builds configured with -DSCIOTO_LINEAGE=OFF. */
+
+/// Nonzero when lineage is staged to arm on the next SPMD run.
+int scioto_lineage_enabled(void);
+void scioto_lineage_set(int enabled);
+
+typedef struct scioto_lineage_report {
+  uint64_t tasks_spawned;       /* SpawnEdge events recorded */
+  uint64_t tasks_executed;      /* ExecSpan events recorded */
+  uint64_t migrations;          /* MigrateEdge events (steals + redeals) */
+  uint64_t max_hops;            /* deepest steal chain at execution */
+  uint64_t violations;          /* happens-before failures (0 = valid) */
+  uint64_t ring_dropped;        /* trace events lost to ring wrap */
+  int64_t critical_path_ns;     /* weighted critical-path length */
+  int64_t spawn_exec_p50_ns;    /* spawn-to-execution latency median */
+  int64_t spawn_exec_p99_ns;    /* spawn-to-execution latency p99 */
+} scioto_lineage_report_t;
+
+/// Merges the per-rank rings, validates happens-before, and extracts the
+/// critical path. Returns 0 on success; -1 when no lineage + trace
+/// session pair is active or the build compiled lineage out.
+int scioto_lineage_report_get(scioto_lineage_report_t* out);
+
 }  // extern "C"
 
 namespace scioto {

@@ -15,6 +15,7 @@
 #include "metrics/metrics.hpp"
 #include "metrics/monitor.hpp"
 #include "sim/engine.hpp"
+#include "trace/lineage.hpp"
 #include "trace/trace.hpp"
 
 namespace scioto {
@@ -194,6 +195,18 @@ TaskCollection::TaskCollection(pgas::Runtime& rt, TcConfig cfg)
   SplitQueue::Config qc;
   qc.slot_bytes = align_up(
       sizeof(TaskHeader) + static_cast<std::size_t>(cfg_.max_task_body), 8);
+#if SCIOTO_LINEAGE_ENABLED
+  if (trace::lineage::active()) {
+    // Collectively uniform (active() is process-global session state, set
+    // before the SPMD region): every rank appends the same 24-byte
+    // lineage trailer after the padded body. Lineage-off runs keep the
+    // exact pre-lineage slot layout -- and therefore identical PGAS
+    // transfer sizes and virtual-time charges.
+    lineage_off_ = qc.slot_bytes;
+    qc.slot_bytes += sizeof(trace::lineage::LineageRec);
+    qc.lineage_off = lineage_off_;
+  }
+#endif
   qc.capacity = static_cast<std::uint64_t>(cfg_.max_tasks_per_rank);
   qc.chunk = cfg_.chunk_size;
   qc.chunk_max = cfg_.chunk_max;
@@ -340,6 +353,21 @@ void TaskCollection::add_raw(Rank where, int affinity,
   auto* hdr = reinterpret_cast<TaskHeader*>(scratch.data());
   hdr->created_by = rt_.me();
   hdr->affinity = affinity;
+#if SCIOTO_LINEAGE_ENABLED
+  if (lineage_off_ != 0) {
+    // Birth of the causal record: fresh id, parent = whatever task is
+    // executing on this rank right now (0 for root seeds). The spawner
+    // records the edge; the executor's ExecSpan closes it.
+    trace::lineage::LineageRec rec;
+    rec.id = trace::lineage::next_id(rt_.me());
+    rec.parent = trace::lineage::current(rt_.me());
+    std::memcpy(scratch.data() + lineage_off_, &rec, sizeof(rec));
+    SCIOTO_TRACE_EVENT(rt_.me(), trace::Ev::SpawnEdge,
+                       static_cast<std::uint32_t>(rec.parent >> 32),
+                       static_cast<std::uint32_t>(rec.parent),
+                       rec.id);
+  }
+#endif
 
   bool ok;
   if (where == rt_.me()) {
@@ -389,7 +417,29 @@ void TaskCollection::execute(std::byte* descriptor) {
                   hdr->affinity);
   }
 #endif
+#if SCIOTO_LINEAGE_ENABLED
+  // Read the trailer, announce the span (after TaskBegin, so the flow
+  // arrow's finish binds inside the task slice), and make this task the
+  // current parent for any spawns the callback performs. Saved/restored
+  // rather than cleared: the DAG engine's completion hooks can fire
+  // further node tasks from inside execute.
+  trace::lineage::LineageRec lrec;
+  std::uint64_t lineage_prev = 0;
+  const bool lineage_on = lineage_off_ != 0;
+  if (lineage_on) {
+    std::memcpy(&lrec, descriptor + lineage_off_, sizeof(lrec));
+    SCIOTO_TRACE_EVENT(rt_.me(), trace::Ev::ExecSpan, lrec.hops,
+                       hdr->callback, lrec.id);
+    lineage_prev = trace::lineage::current(rt_.me());
+    trace::lineage::set_current(rt_.me(), lrec.id);
+  }
+#endif
   fn(ctx);
+#if SCIOTO_LINEAGE_ENABLED
+  if (lineage_on) {
+    trace::lineage::set_current(rt_.me(), lineage_prev);
+  }
+#endif
 #if SCIOTO_TRACE_ENABLED
   if (tracing) {
     trace::record(rt_.me(), trace::Ev::TaskEnd, hdr->callback, 0,
@@ -1431,6 +1481,25 @@ void TaskCollection::restore_from(const std::string& path) {
       }
       const std::byte* desc = reinterpret_cast<const std::byte*>(
           buf.data() + desc_off + j * src_slot);
+#if SCIOTO_LINEAGE_ENABLED
+      if (lineage_off_ != 0 && src != me) {
+        // The redeal moved this descriptor off the rank that saved it: a
+        // migration like any steal, stamped the same way so the analyzer
+        // can follow the chain across the checkpoint boundary. (The
+        // manifest's slot_bytes check above already rejects mixing
+        // lineage-on and lineage-off fleets across a save/restore.)
+        std::vector<std::byte>& scratch =
+            scratch_[static_cast<std::size_t>(me)];
+        std::memcpy(scratch.data(), desc, slot_bytes());
+        trace::lineage::LineageRec rec;
+        std::memcpy(&rec, scratch.data() + lineage_off_, sizeof(rec));
+        rec.hops += 1;
+        std::memcpy(scratch.data() + lineage_off_, &rec, sizeof(rec));
+        SCIOTO_TRACE_EVENT(me, trace::Ev::MigrateEdge, src, rec.hops,
+                           rec.id);
+        desc = scratch.data();
+      }
+#endif
       bool ok = queue_->push_local(desc, kAffinityHigh);
       SCIOTO_REQUIRE(ok, "elastic: local queue overflow during restore");
       ++restored;

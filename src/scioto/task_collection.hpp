@@ -280,6 +280,10 @@ class TaskCollection {
   pgas::Runtime& rt_;
   TcConfig cfg_;
   std::unique_ptr<SplitQueue> queue_;
+  /// Byte offset of the lineage trailer inside a slot while a lineage
+  /// session is armed; 0 disables every lineage hook (the off-path cost
+  /// is this one comparison).
+  std::size_t lineage_off_ = 0;
   std::unique_ptr<TerminationDetector> td_;
   /// Heartbeat publisher/prober, present iff the failure detector is
   /// armed; pumped from the top of the process() loop.

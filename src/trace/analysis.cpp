@@ -1,8 +1,11 @@
 #include "trace/analysis.hpp"
 
 #include <algorithm>
+#include <string>
+#include <unordered_map>
 
 #include "base/error.hpp"
+#include "trace/lineage.hpp"
 
 namespace scioto::trace {
 
@@ -329,6 +332,298 @@ Table duration_table(const std::vector<DurationDist>& rows) {
                Table::fmt(static_cast<std::int64_t>(d.percentile(99))),
                Table::fmt(static_cast<std::int64_t>(d.max))});
   }
+  return t;
+}
+
+// ---- Causal lineage analytics ----
+
+const LineageSpan* LineageReport::find(std::uint64_t id) const {
+  auto it = std::lower_bound(
+      spans.begin(), spans.end(), id,
+      [](const LineageSpan& s, std::uint64_t v) { return s.id < v; });
+  if (it == spans.end() || it->id != id) {
+    return nullptr;
+  }
+  return &*it;
+}
+
+namespace {
+
+void note_violation(LineageReport& rep, const std::string& msg) {
+  // Cap the list: a corrupted stream should fail loudly, not allocate a
+  // report the size of the trace.
+  if (rep.violations.size() < 64) {
+    rep.violations.push_back(msg);
+  }
+}
+
+}  // namespace
+
+LineageReport lineage_report(const std::vector<Event>& events, int nranks,
+                             std::uint64_t dropped_events) {
+  (void)nranks;
+  LineageReport rep;
+  rep.dropped = dropped_events;
+  rep.spawn_to_exec.name = "spawn_to_exec";
+
+  // Pass 1: gather per-id records. The map is scratch only -- the report
+  // is emitted sorted by id, so its iteration order never shows.
+  std::unordered_map<std::uint64_t, std::size_t> index;
+  auto span_of = [&](std::uint64_t id) -> LineageSpan& {
+    auto [it, fresh] = index.try_emplace(id, rep.spans.size());
+    if (fresh) {
+      rep.spans.emplace_back();
+      rep.spans.back().id = id;
+    }
+    return rep.spans[it->second];
+  };
+  // ExecSpan announces a task right before its TaskBegin; the next
+  // TaskEnd on the same rank closes it and carries the duration. Tasks
+  // never nest within execute(), so one pending id per rank suffices --
+  // and the input stream preserves each rank's recording order.
+  std::unordered_map<int, std::uint64_t> pending_exec;
+  for (const Event& e : events) {
+    switch (e.kind) {
+      case Ev::SpawnEdge: {
+        const std::uint64_t id = static_cast<std::uint64_t>(e.c);
+        LineageSpan& s = span_of(id);
+        if (s.spawned()) {
+          note_violation(rep, "task " + std::to_string(id) +
+                                  " has two spawn edges");
+        } else {
+          s.spawn_rank = e.rank;
+          s.spawn_t = e.t;
+          s.parent =
+              static_cast<std::uint64_t>(static_cast<std::uint32_t>(e.a))
+                  << 32 |
+              static_cast<std::uint32_t>(e.b);
+        }
+        ++rep.spawns;
+        break;
+      }
+      case Ev::MigrateEdge: {
+        LineageSpan& s = span_of(static_cast<std::uint64_t>(e.c));
+        s.migrations.push_back(LineageMigration{e.t, e.a, e.rank});
+        ++rep.migrations;
+        break;
+      }
+      case Ev::ExecSpan: {
+        const std::uint64_t id = static_cast<std::uint64_t>(e.c);
+        LineageSpan& s = span_of(id);
+        if (s.executed()) {
+          // Exactly-once execution is the task collection's core
+          // guarantee (fault replay included); a second span is always a
+          // defect.
+          note_violation(rep, "task " + std::to_string(id) +
+                                  " executed twice (ranks " +
+                                  std::to_string(s.exec_rank) + " and " +
+                                  std::to_string(e.rank) + ")");
+        } else {
+          s.exec_rank = e.rank;
+          s.exec_t = e.t;
+          s.hops = static_cast<std::uint32_t>(e.a);
+          s.callback = e.b;
+          pending_exec[e.rank] = id;
+        }
+        ++rep.execs;
+        break;
+      }
+      case Ev::TaskEnd: {
+        auto it = pending_exec.find(e.rank);
+        if (it != pending_exec.end()) {
+          LineageSpan& s = span_of(it->second);
+          s.exec_dur = std::max<TimeNs>(e.c, 0);
+          pending_exec.erase(it);
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  std::sort(rep.spans.begin(), rep.spans.end(),
+            [](const LineageSpan& x, const LineageSpan& y) {
+              return x.id < y.id;
+            });
+
+  // Pass 2: happens-before and conservation. With ring drops the
+  // completeness checks are vacuous (the missing edge may simply have
+  // been overwritten), so only per-event ordering is validated then.
+  const bool complete = dropped_events == 0;
+  for (const LineageSpan& s : rep.spans) {
+    if (s.spawned() && s.executed()) {
+      if (s.exec_t < s.spawn_t) {
+        note_violation(rep, "task " + std::to_string(s.id) +
+                                " executed before its spawn edge");
+      }
+      rep.spawn_to_exec.add(static_cast<std::uint64_t>(
+          std::max<TimeNs>(s.queue_latency(), 0)));
+    } else if (complete) {
+      note_violation(rep, "task " + std::to_string(s.id) +
+                              (s.executed()
+                                   ? " executed without a spawn edge"
+                                   : " spawned but never executed"));
+    }
+    for (const LineageMigration& m : s.migrations) {
+      if ((s.spawned() && m.t < s.spawn_t) ||
+          (s.executed() && m.t > s.exec_t)) {
+        note_violation(rep, "task " + std::to_string(s.id) +
+                                " migrated outside its spawn->exec window");
+      }
+    }
+    if (s.executed()) {
+      if (complete && s.hops != s.migrations.size()) {
+        ++rep.hop_mismatches;
+      }
+      rep.max_hops = std::max<std::uint64_t>(rep.max_hops, s.hops);
+      if (rep.hop_hist.size() <= s.hops) {
+        rep.hop_hist.resize(static_cast<std::size_t>(s.hops) + 1, 0);
+      }
+      ++rep.hop_hist[s.hops];
+    }
+  }
+  return rep;
+}
+
+CriticalPath critical_path(const LineageReport& rep,
+                           const std::vector<Event>& events, int nranks) {
+  CriticalPath cp;
+  cp.rank_blame.assign(static_cast<std::size_t>(std::max(nranks, 1)), 0);
+
+  // Terminal: the last-finishing executed task; ties break toward the
+  // smaller id so the walk is deterministic whenever the stream is.
+  const LineageSpan* terminal = nullptr;
+  for (const LineageSpan& s : rep.spans) {
+    if (!s.executed()) {
+      continue;
+    }
+    if (terminal == nullptr || s.finish() > terminal->finish() ||
+        (s.finish() == terminal->finish() && s.id < terminal->id)) {
+      terminal = &s;
+    }
+  }
+  if (terminal == nullptr) {
+    return cp;
+  }
+  cp.terminal_id = terminal->id;
+
+  // Walk back: each task contributes its execution (clipped at the child
+  // spawn that continued the chain) preceded by its queue/migration wait,
+  // attributed to the rank whose queue actually held it -- the victim of
+  // the next migration, or the executor after the last landing.
+  std::vector<CritSegment> rev;
+  const LineageSpan* s = terminal;
+  TimeNs exec_end = terminal->finish();
+  std::size_t guard = rep.spans.size() + 1;
+  while (guard-- > 0) {
+    ++cp.tasks;
+    if (exec_end > s->exec_t) {
+      rev.push_back(CritSegment{s->id, s->exec_rank, true, s->exec_t,
+                                exec_end});
+    }
+    if (!s->spawned()) {
+      break;  // chain truncated by ring wrap; blame what we can see
+    }
+    std::vector<TimeNs> bounds;
+    std::vector<Rank> owners;
+    bounds.push_back(s->spawn_t);
+    for (const LineageMigration& m : s->migrations) {
+      owners.push_back(m.victim);
+      bounds.push_back(m.t);
+    }
+    owners.push_back(s->exec_rank);
+    bounds.push_back(s->exec_t);
+    for (std::size_t i = owners.size(); i-- > 0;) {
+      if (bounds[i + 1] > bounds[i]) {
+        rev.push_back(CritSegment{s->id, owners[i], false, bounds[i],
+                                  bounds[i + 1]});
+      }
+    }
+    if (s->parent == 0) {
+      break;  // root spawn: the chain starts here
+    }
+    const LineageSpan* p = rep.find(s->parent);
+    if (p == nullptr || !p->executed()) {
+      break;  // parent lost to ring wrap
+    }
+    exec_end = std::min(std::max(s->spawn_t, p->exec_t), p->finish());
+    s = p;
+  }
+  std::reverse(rev.begin(), rev.end());
+  cp.segments = std::move(rev);
+  if (!cp.segments.empty()) {
+    cp.length = terminal->finish() - cp.segments.front().t0;
+  }
+
+  // Blame: by kind, by rank, and by tc_process phase (segments are
+  // assigned to the phase whose collective begin most recently preceded
+  // them; rank 0's PhaseBegin events are the boundary markers).
+  std::vector<TimeNs> phase_begins;
+  for (const Event& e : events) {
+    if (e.kind == Ev::PhaseBegin && e.rank == 0) {
+      phase_begins.push_back(e.t);
+    }
+  }
+  std::sort(phase_begins.begin(), phase_begins.end());
+  cp.phase_blame.assign(std::max<std::size_t>(phase_begins.size(), 1), 0);
+  for (const CritSegment& seg : cp.segments) {
+    (seg.exec ? cp.exec_ns : cp.queue_ns) += seg.dur();
+    if (seg.rank >= 0 && seg.rank < nranks) {
+      cp.rank_blame[static_cast<std::size_t>(seg.rank)] += seg.dur();
+    }
+    std::size_t phase = 0;
+    if (!phase_begins.empty()) {
+      auto it = std::upper_bound(phase_begins.begin(), phase_begins.end(),
+                                 seg.t0);
+      phase = it == phase_begins.begin()
+                  ? 0
+                  : static_cast<std::size_t>(it - phase_begins.begin() - 1);
+    }
+    cp.phase_blame[phase] += seg.dur();
+  }
+  return cp;
+}
+
+Table lineage_table(const LineageReport& rep) {
+  Table t({"metric", "value"});
+  auto u64 = [](std::uint64_t v) {
+    return Table::fmt(static_cast<std::int64_t>(v));
+  };
+  t.add_row({"tasks_spawned", u64(rep.spawns)});
+  t.add_row({"tasks_executed", u64(rep.execs)});
+  t.add_row({"migrate_edges", u64(rep.migrations)});
+  t.add_row({"hb_violations", u64(rep.violations.size())});
+  t.add_row({"hop_mismatches", u64(rep.hop_mismatches)});
+  t.add_row({"ring_dropped", u64(rep.dropped)});
+  t.add_row({"max_hops", u64(rep.max_hops)});
+  t.add_row({"spawn_exec_p50_ns", u64(rep.spawn_to_exec.percentile(50))});
+  t.add_row({"spawn_exec_p90_ns", u64(rep.spawn_to_exec.percentile(90))});
+  t.add_row({"spawn_exec_p99_ns", u64(rep.spawn_to_exec.percentile(99))});
+  t.add_row({"spawn_exec_max_ns", u64(rep.spawn_to_exec.max)});
+  for (std::size_t h = 0; h < rep.hop_hist.size(); ++h) {
+    if (rep.hop_hist[h] > 0) {
+      t.add_row({"tasks_with_" + std::to_string(h) + "_hops",
+                 u64(rep.hop_hist[h])});
+    }
+  }
+  return t;
+}
+
+Table critical_path_table(const CriticalPath& cp) {
+  Table t({"task", "origin", "rank", "state", "t0_us", "dur_us"});
+  for (const CritSegment& seg : cp.segments) {
+    t.add_row({std::to_string(lineage::id_seq(seg.id)),
+               Table::fmt(static_cast<std::int64_t>(
+                   lineage::id_origin(seg.id))),
+               Table::fmt(static_cast<std::int64_t>(seg.rank)),
+               seg.exec ? "exec" : "wait",
+               Table::fmt(static_cast<double>(seg.t0) / 1e3, 3),
+               Table::fmt(static_cast<double>(seg.dur()) / 1e3, 3)});
+  }
+  t.add_row({"TOTAL",
+             Table::fmt(static_cast<std::int64_t>(cp.tasks)),
+             "-", "-", "-",
+             Table::fmt(static_cast<double>(cp.length) / 1e3, 3)});
   return t;
 }
 

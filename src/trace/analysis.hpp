@@ -153,4 +153,118 @@ std::vector<DurationDist> duration_percentiles(
 /// Renders one row per distribution: count, mean, p50/p95/p99, max (ns).
 Table duration_table(const std::vector<DurationDist>& rows);
 
+// ---- Causal lineage analytics (trace/lineage.hpp) ----
+//
+// Consume the SpawnEdge / MigrateEdge / ExecSpan stream a lineage-armed
+// run records and rebuild the per-task causal timeline: who spawned each
+// task, where it travelled, who ran it, and which chain of tasks bounded
+// the run. lineage_report() also *validates* the stream -- happens-before
+// (no task executes before its spawn edge or outside its migration
+// window, none executes twice) and conservation (per-task hop counts
+// match the MigrateEdge stream, which in turn matches the steal matrix
+// task-for-task in fault-free runs).
+
+/// One recorded migration landing: the task left `victim` for `thief` at
+/// time `t` (stamped by the thief, or by the redeal target on an elastic
+/// restore).
+struct LineageMigration {
+  TimeNs t = 0;
+  Rank victim = kNoRank;
+  Rank thief = kNoRank;
+};
+
+/// One task's merged causal record.
+struct LineageSpan {
+  std::uint64_t id = 0;
+  std::uint64_t parent = 0;   // 0 = root spawn (seeded outside any task)
+  Rank spawn_rank = kNoRank;  // kNoRank: spawn edge lost to ring wrap
+  TimeNs spawn_t = -1;
+  Rank exec_rank = kNoRank;   // kNoRank: no execution observed
+  TimeNs exec_t = -1;
+  TimeNs exec_dur = 0;        // from the paired TaskEnd
+  std::uint32_t hops = 0;     // trailer hop count at execution
+  std::int32_t callback = -1;
+  std::vector<LineageMigration> migrations;  // in landing order
+
+  bool spawned() const { return spawn_rank != kNoRank; }
+  bool executed() const { return exec_rank != kNoRank; }
+  /// Spawn-to-execution-start latency (valid when spawned and executed).
+  TimeNs queue_latency() const { return exec_t - spawn_t; }
+  TimeNs finish() const { return exec_t + exec_dur; }
+};
+
+struct LineageReport {
+  std::vector<LineageSpan> spans;  // ascending id
+  std::uint64_t spawns = 0;        // SpawnEdge events seen
+  std::uint64_t migrations = 0;    // MigrateEdge events seen
+  std::uint64_t execs = 0;         // ExecSpan events seen
+  /// Ring-wrap drop count passed in by the caller; nonzero weakens the
+  /// completeness checks (a missing edge may simply be overwritten), so
+  /// they are skipped and only per-event ordering is validated.
+  std::uint64_t dropped = 0;
+  /// Spans whose executed hop count disagrees with their MigrateEdge
+  /// count. Zero in fault-free runs; an aborted-then-replayed steal under
+  /// a kill plan legitimately leaves an edge the replayed descriptor
+  /// never carried, so this is reported separately from `violations`.
+  std::uint64_t hop_mismatches = 0;
+  /// Happens-before failures, empty on any valid stream: a task that
+  /// executed before its spawn edge, executed twice, migrated outside
+  /// its spawn->exec window, or (drops permitting) is missing an edge.
+  std::vector<std::string> violations;
+  DurationDist spawn_to_exec;               // queue-latency distribution
+  std::vector<std::uint64_t> hop_hist;      // [hops at exec] -> task count
+  std::uint64_t max_hops = 0;
+
+  bool causal_order_ok() const { return violations.empty(); }
+  /// Binary search by id; nullptr when unknown.
+  const LineageSpan* find(std::uint64_t id) const;
+};
+
+/// Rebuilds the causal timeline from a merged stream that preserves each
+/// rank's recording order (trace::all_events() does). `dropped_events`
+/// should be trace::total_dropped() for the same session.
+LineageReport lineage_report(const std::vector<Event>& events, int nranks,
+                             std::uint64_t dropped_events = 0);
+
+/// One segment of the critical path: task `id` was either executing
+/// (`exec`) on `rank` or queued/waiting for it over [t0, t1).
+struct CritSegment {
+  std::uint64_t id = 0;
+  Rank rank = kNoRank;
+  bool exec = false;
+  TimeNs t0 = 0;
+  TimeNs t1 = 0;
+  TimeNs dur() const { return t1 - t0; }
+};
+
+/// The weighted critical path: the longest spawn -> steal -> exec chain
+/// ending at the last-finishing task, with blame decomposed by rank, by
+/// segment kind, and by tc_process phase.
+struct CriticalPath {
+  std::vector<CritSegment> segments;  // chain start first
+  TimeNs length = 0;                  // terminal finish - chain start
+  TimeNs exec_ns = 0;                 // path time spent executing
+  TimeNs queue_ns = 0;                // path time spent queued/migrating
+  std::uint64_t tasks = 0;            // tasks on the path
+  std::uint64_t terminal_id = 0;      // the last-finishing task
+  std::vector<TimeNs> rank_blame;     // per-rank path time
+  std::vector<TimeNs> phase_blame;    // per tc_process phase (by index)
+};
+
+/// Walks parent links back from the last-finishing task. Ties on finish
+/// time break toward the smaller id, so the path is deterministic
+/// whenever the event stream is. `events` supplies the PhaseBegin
+/// boundaries for phase blame.
+CriticalPath critical_path(const LineageReport& rep,
+                           const std::vector<Event>& events, int nranks);
+
+/// Renders spawn/exec/migration totals, validation counters, and the
+/// spawn-to-exec percentiles, followed by the steal-chain depth
+/// histogram.
+Table lineage_table(const LineageReport& rep);
+
+/// Renders the path one segment per row (task, rank, state, start,
+/// duration) with a trailing TOTAL row.
+Table critical_path_table(const CriticalPath& cp);
+
 }  // namespace scioto::trace

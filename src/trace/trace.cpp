@@ -97,6 +97,12 @@ const char* ev_name(Ev kind) {
       return "checkpoint";
     case Ev::Restore:
       return "restore";
+    case Ev::SpawnEdge:
+      return "spawn_edge";
+    case Ev::MigrateEdge:
+      return "migrate_edge";
+    case Ev::ExecSpan:
+      return "exec_span";
   }
   return "?";
 }
@@ -226,6 +232,14 @@ std::vector<Event> all_events() {
                      return x.rank < y.rank;
                    });
   return out;
+}
+
+std::uint64_t dropped(Rank rank) {
+  if (!active() || rank < 0 ||
+      rank >= static_cast<Rank>(g_session.sinks.size())) {
+    return 0;
+  }
+  return g_session.sinks[static_cast<std::size_t>(rank)]->dropped();
 }
 
 std::uint64_t total_dropped() {

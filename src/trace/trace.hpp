@@ -101,6 +101,17 @@ enum class Ev : std::uint8_t {
                   //   this rank, c=snapshot bytes (part payload)
   Restore,        // a=source (saved) rank count, b=descriptors restored on
                   //   this rank, c=restored bytes
+  // Causal task lineage (trace/lineage.hpp). Appended so lineage-off
+  // traces stay byte-identical to pre-lineage baselines. Task ids ride in
+  // c (they fit int64: 23 origin bits + 40 sequence bits).
+  SpawnEdge,      // a=parent id high 32 bits, b=parent id low 32 bits,
+                  //   c=spawned task id (recorded by the spawning rank)
+  MigrateEdge,    // a=victim (the rank the task sat on), b=hop count
+                  //   after this migration, c=task id (recorded by the
+                  //   thief / redeal target)
+  ExecSpan,       // a=hop count at execution, b=callback handle,
+                  //   c=task id (recorded by the executing rank; the
+                  //   span's duration is the paired TaskEnd's)
 };
 
 /// Human-readable kind name (used by the exporter and analyses).
@@ -182,6 +193,11 @@ std::vector<Event> all_events();
 
 /// Total events overwritten across all rings in this session.
 std::uint64_t total_dropped();
+
+/// Events overwritten in one rank's ring (0 when inactive or out of
+/// range). The fleet monitor scrapes this into its rollup so a live run
+/// surfaces event loss instead of only the exporter noticing post-run.
+std::uint64_t dropped(Rank rank);
 
 /// Default per-rank ring capacity: SCIOTO_TRACE_CAP env var, else 1<<15.
 std::size_t default_capacity();
